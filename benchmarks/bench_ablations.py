@@ -1,0 +1,204 @@
+"""Ablations of the design choices sections II, III and VII call out.
+
+Each benchmark flips one mechanism and measures the simulated effect on
+a workload the paper associates with it:
+
+* renaming on/off — Strassen's reused scratch grids (section VI.C);
+* locality ready-lists vs central queue — CellSs/SuperMatrix contrast
+  (section VII.A/C);
+* high-priority hint — Cholesky's critical-path potrf (section II);
+* main-thread graph window — section III's blocking condition.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import is_quick
+
+from repro.apps.cholesky import cholesky_hyper
+from repro.apps.strassen import strassen_multiply
+from repro.blas.hypermatrix import HyperMatrix
+from repro.core.scheduler import CentralQueueScheduler, SmpssScheduler
+from repro.sim import ALTIX_32, CostModel, MachineConfig, simulate_program
+
+
+def sym_hyper(n):
+    hm = HyperMatrix(n, 1, np.float32)
+    for i in range(n):
+        for j in range(n):
+            hm[i, j] = np.zeros((1, 1), np.float32)
+    return hm
+
+
+def _simulate_strassen(n_blocks, m, cores, renaming):
+    machine = ALTIX_32.with_cores(cores)
+    return simulate_program(
+        strassen_multiply, sym_hyper(n_blocks), sym_hyper(n_blocks),
+        sym_hyper(n_blocks),
+        machine=machine,
+        cost_model=CostModel(machine, block_size=m),
+        enable_renaming=renaming,
+    )
+
+
+def test_ablation_renaming(benchmark, figure_printer):
+    n_blocks = 4 if is_quick() else 8
+    with_renaming = benchmark.pedantic(
+        lambda: _simulate_strassen(n_blocks, 512, 16, True),
+        rounds=1, iterations=1,
+    )
+    without = _simulate_strassen(n_blocks, 512, 16, False)
+    speedup = without.makespan / with_renaming.makespan
+
+    class _F:
+        @staticmethod
+        def table():
+            return (
+                "Ablation: renaming (Strassen, 16 cores)\n"
+                f"  with renaming:    {with_renaming.makespan*1e3:9.2f} ms\n"
+                f"  without renaming: {without.makespan*1e3:9.2f} ms\n"
+                f"  renaming speedup: {speedup:5.2f}x "
+                "(WAR/WAW hazards on reused scratch grids serialise)"
+            )
+
+    figure_printer(_F)
+    assert speedup > 1.1
+
+
+def _simulate_cholesky(scheduler_factory, cores=16, n_blocks=16, m=128):
+    machine = ALTIX_32.with_cores(cores)
+    return simulate_program(
+        cholesky_hyper, sym_hyper(n_blocks),
+        machine=machine,
+        cost_model=CostModel(machine, block_size=m),
+        scheduler_factory=scheduler_factory,
+    )
+
+
+def test_ablation_locality_scheduler(benchmark, figure_printer):
+    locality = benchmark.pedantic(
+        lambda: _simulate_cholesky(SmpssScheduler),
+        rounds=1, iterations=1,
+    )
+    central = _simulate_cholesky(CentralQueueScheduler)
+
+    class _F:
+        @staticmethod
+        def table():
+            return (
+                "Ablation: per-thread ready lists vs central queue (Cholesky)\n"
+                f"  SMPSs locality lists: {locality.makespan*1e3:9.2f} ms, "
+                f"cache hits {locality.cache_hits}\n"
+                f"  central queue:        {central.makespan*1e3:9.2f} ms, "
+                f"cache hits {central.cache_hits}"
+            )
+
+    figure_printer(_F)
+    # Locality lists must capture at least as many cache hits.
+    assert locality.cache_hits >= central.cache_hits
+    assert locality.makespan <= central.makespan * 1.05
+
+
+def test_ablation_priority_hint(benchmark, figure_printer):
+    """highpriority on potrf (the Cholesky critical path) helps or is
+    neutral — never a slowdown beyond noise."""
+
+    from repro.core.api import css_task
+    from repro.blas import kernels
+
+    @css_task("inout(a) highpriority")
+    def spotrf_hp(a):
+        kernels.potrf(a)
+
+    def cholesky_hp(a):
+        n = a.n
+        from repro.apps.tasks import sgemm_nt_t, ssyrk_t, strsm_t
+
+        for j in range(n):
+            for k in range(j):
+                for i in range(j + 1, n):
+                    sgemm_nt_t(a[i][k], a[j][k], a[i][j])
+            for i in range(j):
+                ssyrk_t(a[j][i], a[j][j])
+            spotrf_hp(a[j][j])
+            for i in range(j + 1, n):
+                strsm_t(a[j][j], a[i][j])
+
+    machine = ALTIX_32.with_cores(16)
+
+    def run(main):
+        return simulate_program(
+            main, sym_hyper(16),
+            machine=machine, cost_model=CostModel(machine, block_size=128),
+        )
+
+    prioritised = benchmark.pedantic(lambda: run(cholesky_hp), rounds=1, iterations=1)
+    plain = run(cholesky_hyper)
+
+    class _F:
+        @staticmethod
+        def table():
+            return (
+                "Ablation: highpriority potrf (Cholesky, 16 cores)\n"
+                f"  plain:       {plain.makespan*1e3:9.2f} ms\n"
+                f"  prioritised: {prioritised.makespan*1e3:9.2f} ms"
+            )
+
+    figure_printer(_F)
+    assert prioritised.makespan <= plain.makespan * 1.05
+
+
+def test_ablation_steal_order(benchmark, figure_printer):
+    """FIFO stealing (the paper's choice: 'minimize the effect on the
+    cache of the victim thread') vs stealing the victim's hot task."""
+
+    from repro.core.scheduler import HotStealScheduler
+
+    cold = benchmark.pedantic(
+        lambda: _simulate_cholesky(SmpssScheduler, cores=8, n_blocks=20, m=64),
+        rounds=1, iterations=1,
+    )
+    hot = _simulate_cholesky(HotStealScheduler, cores=8, n_blocks=20, m=64)
+
+    class _F:
+        @staticmethod
+        def table():
+            return (
+                "Ablation: steal order (Cholesky, 8 cores)\n"
+                f"  FIFO steal (paper): {cold.makespan*1e3:9.2f} ms, "
+                f"hits {cold.cache_hits}, steals {cold.steals}\n"
+                f"  LIFO (hot) steal:   {hot.makespan*1e3:9.2f} ms, "
+                f"hits {hot.cache_hits}, steals {hot.steals}"
+            )
+
+    figure_printer(_F)
+    assert cold.makespan <= hot.makespan * 1.05
+    assert cold.cache_hits >= hot.cache_hits * 0.9
+
+
+def test_ablation_graph_window(benchmark, figure_printer):
+    """A tiny in-flight window throttles the main thread; a roomy one
+    lets it race ahead (section III's graph-size condition)."""
+
+    def run(window):
+        machine = MachineConfig(cores=8, max_pending_tasks=window)
+        return simulate_program(
+            cholesky_hyper, sym_hyper(12),
+            machine=machine, cost_model=CostModel(machine, block_size=128),
+        )
+
+    roomy = benchmark.pedantic(lambda: run(10_000), rounds=1, iterations=1)
+    tiny = run(8)
+
+    class _F:
+        @staticmethod
+        def table():
+            return (
+                "Ablation: graph-size window (Cholesky, 8 cores)\n"
+                f"  window 10000: {roomy.makespan*1e3:9.2f} ms\n"
+                f"  window 8:     {tiny.makespan*1e3:9.2f} ms"
+            )
+
+    figure_printer(_F)
+    assert roomy.makespan <= tiny.makespan * 1.02
+    assert roomy.tasks_executed == tiny.tasks_executed

@@ -1,0 +1,39 @@
+"""Figure 8: Cholesky Gflops vs block size on 32 cores.
+
+Paper: 8192x8192 single floats, blocks 32..2048, Goto vs MKL tiles,
+peak 204.8 Gflops; reasonable blocks 128..512, collapse at both ends.
+Default here is 4096x4096 (the size the paper's own quoted task counts
+imply — see EXPERIMENTS.md); set REPRO_BENCH_SCALE=quick for a smoke
+run.
+"""
+
+from conftest import is_quick
+
+from repro.bench import experiments as E
+
+
+def _params():
+    if is_quick():
+        return dict(n=1024, block_sizes=(32, 64, 128, 256), cores=8)
+    return dict(n=4096, block_sizes=(32, 64, 128, 256, 512, 1024), cores=32)
+
+
+def test_fig08_blocksize_sweep(benchmark, figure_printer):
+    fig = benchmark.pedantic(
+        lambda: E.fig08_cholesky_blocksize(**_params()),
+        rounds=1, iterations=1,
+    )
+    figure_printer(fig)
+
+    for library in ("Goto", "Mkl"):
+        series = fig.get(f"SMPSs + {library} tiles").values
+        # Inverted U: the best block size is interior, both ends lower.
+        best = max(range(len(series)), key=lambda i: series[i])
+        assert 0 < best < len(series) - 1, f"{library}: no interior optimum"
+        assert series[0] < 0.6 * series[best], "no small-block overhead wall"
+        assert series[-1] < 0.75 * series[best], "no large-block starvation"
+
+    # Goto tiles edge out MKL tiles at the optimum (Figure 8's gap).
+    goto = fig.get("SMPSs + Goto tiles").values
+    mkl = fig.get("SMPSs + Mkl tiles").values
+    assert max(goto) > max(mkl)

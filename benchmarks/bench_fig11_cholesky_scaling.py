@@ -1,0 +1,43 @@
+"""Figure 11: Cholesky Gflops vs threads — SMPSs vs threaded Goto/MKL.
+
+Paper shape: threaded MKL saturates ~4 threads, threaded Goto ~10;
+SMPSs (either tile library) scales to 32 "without any noticeable
+performance loss".
+"""
+
+from conftest import is_quick
+
+from repro.bench import experiments as E
+
+
+def _params():
+    if is_quick():
+        return dict(n=2048, m=256, threads=(1, 2, 4, 8))
+    return dict(n=8192, m=256, threads=E.THREAD_SWEEP)
+
+
+def test_fig11_cholesky_scaling(benchmark, figure_printer):
+    fig = benchmark.pedantic(
+        lambda: E.fig11_cholesky_scaling(**_params()),
+        rounds=1, iterations=1,
+    )
+    figure_printer(fig)
+    threads = fig.x
+    smpss = fig.get("SMPSs + Goto tiles").values
+    goto = fig.get("Threaded Goto").values
+    mkl = fig.get("Threaded Mkl").values
+
+    # SMPSs keeps scaling: last point much better than mid sweep.
+    assert smpss[-1] > smpss[len(smpss) // 2]
+    if not is_quick():
+        # SMPSs parallel efficiency at 32 threads stays high.
+        assert smpss[-1] / (smpss[0] * threads[-1]) > 0.7
+        # MKL plateaus by 4-8: gains < 25% from t=4 to t=32.
+        i4 = threads.index(4)
+        assert mkl[-1] < mkl[i4] * 1.25
+        # Goto still grows well past 4, but stops by ~12.
+        i12 = threads.index(12)
+        assert goto[i12] > goto[i4] * 1.5
+        assert goto[-1] < goto[i12] * 1.1
+        # The paper's headline: SMPSs beats both threaded libraries at 32.
+        assert smpss[-1] > goto[-1] > mkl[-1]

@@ -1,0 +1,54 @@
+"""Figure 12: matmul with on-demand copies — Gflops vs threads.
+
+Paper shape: threaded Goto/MKL scale smoothly; SMPSs shows a staircase
+from its fixed block size but "with 32 threads it surpasses the MKL
+parallelization with either MKL and Goto task implementations".
+"""
+
+from conftest import is_quick
+
+from repro.bench import experiments as E
+
+
+def _params():
+    if is_quick():
+        return dict(n=2048, m=512, threads=(1, 2, 4, 8))
+    return dict(n=8192, m=1024, threads=E.THREAD_SWEEP)
+
+
+def test_fig12_matmul_scaling(benchmark, figure_printer):
+    fig = benchmark.pedantic(
+        lambda: E.fig12_matmul_scaling(**_params()),
+        rounds=1, iterations=1,
+    )
+    figure_printer(fig)
+    if is_quick():
+        return
+    threads = fig.x
+    smpss_goto = fig.get("SMPSs + Goto tiles").values
+    smpss_mkl = fig.get("SMPSs + Mkl tiles").values
+    goto = fig.get("Threaded Goto").values
+    mkl = fig.get("Threaded Mkl").values
+
+    # Smooth threaded libraries: monotone nondecreasing.
+    assert all(b >= a * 0.999 for a, b in zip(goto, goto[1:]))
+    assert all(b >= a * 0.999 for a, b in zip(mkl, mkl[1:]))
+
+    # SMPSs staircase: divisor thread counts (8/16/32 divide the 64
+    # chains) sit near-ideal; non-divisors (12, 24) dip below the
+    # threaded libraries' smooth curve.
+    def efficiency(series, i):
+        return series[i] / (series[0] * threads[i])
+
+    for non_divisor in (12, 24):
+        i = threads.index(non_divisor)
+        assert efficiency(smpss_goto, i) < efficiency(goto, i), (
+            f"no starvation dip at {non_divisor} threads"
+        )
+    for divisor in (16, 32):
+        i = threads.index(divisor)
+        assert efficiency(smpss_goto, i) > 0.9
+
+    # At 32 threads SMPSs surpasses threaded MKL with both tile sets.
+    assert smpss_goto[-1] > mkl[-1]
+    assert smpss_mkl[-1] > mkl[-1]

@@ -1,0 +1,63 @@
+"""Figure 13: blocked Strassen — Gflops vs threads.
+
+Paper shape: "much smoother response to varying the number of threads"
+than the matmul staircase (the less linearised graph allows more
+work-stealing), but lower Gflops than plain matmul: renaming
+allocations plus bandwidth-hungry additions/subtractions.
+"""
+
+from conftest import is_quick
+
+from repro.bench import experiments as E
+
+
+def _params():
+    if is_quick():
+        return dict(n=2048, m=512, threads=(1, 2, 4, 8))
+    return dict(n=8192, m=512, threads=E.THREAD_SWEEP)
+
+
+def test_fig13_strassen_scaling(benchmark, figure_printer):
+    fig = benchmark.pedantic(
+        lambda: E.fig13_strassen_scaling(**_params()),
+        rounds=1, iterations=1,
+    )
+    figure_printer(fig)
+    if is_quick():
+        return
+    threads = fig.x
+    goto = fig.get("SMPSs + Goto tiles").values
+
+    # Smooth: parallel efficiency stays high at every point, including
+    # the thread counts where Figure 12's matmul dips.
+    for i, t in enumerate(threads):
+        assert goto[i] / (goto[0] * t) > 0.85, f"not smooth at {t} threads"
+
+    # Lower than the Figure 12 matmul at 32 threads (same machine).
+    mat = E.fig12_matmul_scaling(threads=(1, 32))
+    assert goto[-1] < mat.get("SMPSs + Goto tiles").values[-1]
+
+
+def test_fig13_renaming_is_exercised(benchmark):
+    """Strassen is 'an intensive renaming test case' — count renames."""
+
+    import numpy as np
+
+    from repro.apps.strassen import strassen_multiply
+    from repro.blas.hypermatrix import HyperMatrix
+    from repro.core.recorder import record_program
+
+    def build():
+        def sym(n):
+            hm = HyperMatrix(n, 1, np.float32)
+            for i in range(n):
+                for j in range(n):
+                    hm[i, j] = np.zeros((1, 1), np.float32)
+            return hm
+
+        return record_program(
+            strassen_multiply, sym(8), sym(8), sym(8), execute="skip"
+        )
+
+    prog = benchmark(build)
+    assert prog.graph.stats.renames > 100

@@ -1,0 +1,44 @@
+"""Figure 14: Multisort speedup vs threads — Cilk, OMP3 tasks, SMPSs.
+
+Paper shape: "All three versions scale similarly, with SMPSs having
+slightly better performance than the others."
+"""
+
+from conftest import is_quick
+
+from repro.bench import experiments as E
+
+
+def _params():
+    if is_quick():
+        return dict(n=1 << 18, quicksize=1 << 13, threads=(1, 2, 4, 8))
+    return dict(n=1 << 22, quicksize=1 << 15, threads=E.THREAD_SWEEP)
+
+
+def test_fig14_multisort(benchmark, figure_printer):
+    fig = benchmark.pedantic(
+        lambda: E.fig14_multisort(**_params()),
+        rounds=1, iterations=1,
+    )
+    figure_printer(fig)
+    threads = fig.x
+    cilk = fig.get("Cilk").values
+    omp = fig.get("OMP3 tasks").values
+    smpss = fig.get("SMPSs").values
+
+    # All three near 1 at a single thread (no big model artifact).
+    for series in (cilk, omp, smpss):
+        assert 0.85 < series[0] < 1.1
+
+    # They scale *similarly*: within 20% of each other at every point.
+    for i in range(len(threads)):
+        trio = (cilk[i], omp[i], smpss[i])
+        assert max(trio) / min(trio) < 1.2, f"divergence at {threads[i]} threads"
+
+    # And SMPSs is slightly ahead at the top end.
+    assert smpss[-1] >= max(cilk[-1], omp[-1]) * 0.98
+    if not is_quick():
+        assert smpss[-1] > cilk[-1]
+        # Bandwidth ceiling: nobody scales linearly to 32.
+        assert max(cilk[-1], omp[-1], smpss[-1]) < 20
+        assert min(cilk[-1], omp[-1], smpss[-1]) > 8

@@ -1,0 +1,43 @@
+"""Figure 15: N Queens speedup vs the *sequential* program.
+
+Paper shape: "SMPSs obtains better performance with 1 thread than the
+sequential execution" (renaming realigns data, no hand duplication);
+Cilk and OMP3 sit below 1 at one thread because "many publications ...
+compare ... with a sequential version that performs those array
+duplications" — ours does not.
+"""
+
+from conftest import is_quick
+
+from repro.bench import experiments as E
+
+
+def _params():
+    if is_quick():
+        return dict(n=9, threads=(1, 2, 4, 8))
+    return dict(n=12, threads=E.THREAD_SWEEP)
+
+
+def test_fig15_nqueens(benchmark, figure_printer):
+    fig = benchmark.pedantic(
+        lambda: E.fig15_nqueens(**_params()),
+        rounds=1, iterations=1,
+    )
+    figure_printer(fig)
+    cilk = fig.get("Cilk").values
+    omp = fig.get("OMP3 tasks").values
+    smpss = fig.get("SMPSs").values
+
+    # The paper's 1-thread ordering: SMPSs > 1 > Cilk, OMP.
+    assert smpss[0] > 1.0
+    assert cilk[0] < 1.0
+    assert omp[0] < 1.0
+
+    # "This advantage is preserved with more threads."
+    for i in range(len(fig.x)):
+        assert smpss[i] > cilk[i] > omp[i] * 0.99
+
+    if not is_quick():
+        # Strong scaling to 32 threads for all three (paper: ~24-36).
+        assert smpss[-1] > 28
+        assert cilk[-1] > 22

@@ -1,0 +1,37 @@
+"""Figure 16: N Queens scalability vs 1 thread of the *same* model.
+
+Paper shape: normalised per paradigm, all three scale similarly — the
+per-spawn duplication artifact cancels out, which is exactly the
+paper's methodological point about such comparisons.
+"""
+
+from conftest import is_quick
+
+from repro.bench import experiments as E
+
+
+def _params():
+    if is_quick():
+        return dict(n=9, threads=(1, 2, 4, 8))
+    return dict(n=12, threads=E.THREAD_SWEEP)
+
+
+def test_fig16_nqueens_scalability(benchmark, figure_printer):
+    fig = benchmark.pedantic(
+        lambda: E.fig16_nqueens_scalability(**_params()),
+        rounds=1, iterations=1,
+    )
+    figure_printer(fig)
+    threads = fig.x
+    series = {label: fig.get(label).values for label in ("Cilk", "OMP3 tasks", "SMPSs")}
+
+    for label, values in series.items():
+        assert values[0] == 1.0
+        # Near-linear scaling for a compute-bound search.
+        for i, t in enumerate(threads):
+            assert values[i] > 0.85 * t, f"{label} off-linear at {t}"
+
+    # Similar to each other at every point (within 10%).
+    for i in range(len(threads)):
+        trio = [series[l][i] for l in series]
+        assert max(trio) / min(trio) < 1.1

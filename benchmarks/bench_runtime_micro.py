@@ -1,0 +1,116 @@
+"""Microbenchmarks of the runtime itself (not figure reproductions).
+
+Measures the costs the paper's section VI block-size discussion is
+about: per-task dependency analysis, ready-list operations, pragma
+parsing, threaded execution overhead, and simulator event throughput.
+"""
+
+import numpy as np
+
+from repro import SmpssRuntime, css_task, parse_pragma
+from repro.core.invocation import instantiate
+from repro.core.dependencies import DependencyTracker
+from repro.core.graph import TaskGraph
+from repro.core.scheduler import SmpssScheduler
+from repro.core.task import TaskDefinition, TaskInstance, reset_task_ids
+
+
+@css_task("input(a, b) inout(c)")
+def _gemm_like(a, b, c):  # noqa: ARG001
+    pass
+
+
+def test_pragma_parse(benchmark):
+    text = "input(data{i1..j1}, data{i2..j2}, i1, j1, i2, j2) output(dest{i1..j2})"
+    parsed = benchmark(parse_pragma, text)
+    assert len(parsed.params) == 7
+
+
+def test_task_instantiation(benchmark):
+    a = np.zeros((4, 4), np.float32)
+    b = np.zeros((4, 4), np.float32)
+    c = np.zeros((4, 4), np.float32)
+    defn = _gemm_like.definition
+
+    inst = benchmark(instantiate, defn, (a, b, c), {})
+    assert len(inst.accesses) == 3
+
+
+def test_dependency_analysis_throughput(benchmark):
+    """Analyse a 1000-task chain: the paper's task_add overhead."""
+
+    defn = _gemm_like.definition
+    a = np.zeros((4, 4), np.float32)
+    b = np.zeros((4, 4), np.float32)
+    c = np.zeros((4, 4), np.float32)
+
+    def analyse_chain():
+        reset_task_ids()
+        tracker = DependencyTracker(TaskGraph(keep_finished=False))
+        for _ in range(1000):
+            tracker.analyze(instantiate(defn, (a, b, c), {}))
+        return tracker
+
+    tracker = benchmark(analyse_chain)
+    assert tracker.graph.stats.total_tasks == 1000
+
+
+def test_scheduler_push_pop(benchmark):
+    defn = TaskDefinition(func=lambda: None, params=(), name="t")
+
+    def cycle():
+        reset_task_ids()
+        scheduler = SmpssScheduler(num_threads=8)
+        tasks = [
+            TaskInstance(definition=defn, accesses=[], arguments={})
+            for _ in range(512)
+        ]
+        for i, t in enumerate(tasks):
+            scheduler.push_unlocked(t, thread=i % 8)
+        popped = 0
+        for i in range(512):
+            if scheduler.pop(i % 8) is not None:
+                popped += 1
+        return popped
+
+    assert benchmark(cycle) == 512
+
+
+def test_threaded_runtime_task_overhead(benchmark):
+    """Wall-clock per-task cost of the full threaded pipeline."""
+
+    a = np.zeros(1)
+
+    @css_task("inout(x)")
+    def tick(x):
+        x += 1
+
+    def run_batch():
+        a[0] = 0
+        with SmpssRuntime(num_workers=2) as rt:
+            for _ in range(300):
+                tick(a)
+            rt.barrier()
+        return a[0]
+
+    assert benchmark(run_batch) == 300
+
+
+def test_simulator_event_throughput(benchmark):
+    """Simulated tasks retired per second of host time."""
+
+    from repro.sim import ALTIX_32, CostModel, run_static
+    from repro.sim.baselines import build_multisort_dag, scheduler_for_model
+
+    template = build_multisort_dag(1 << 18, 1 << 12, "cilk")
+    machine = ALTIX_32
+
+    def run():
+        return run_static(
+            template.build(), machine,
+            CostModel(machine, block_size=1),
+            scheduler_for_model("cilk"),
+        )
+
+    res = benchmark(run)
+    assert res.tasks_executed == len(template.nodes)

@@ -1,0 +1,31 @@
+"""Section VI prose: the quoted task counts.
+
+"374,272 tasks for Cholesky with 32x32 element blocks, 49,920 with
+64x64 blocks" — regenerated from the closed-form count of the flat
+Cholesky (Figure 9) and cross-validated against recorded graphs.
+"""
+
+from repro.bench import experiments as E
+
+
+def test_text_task_counts(benchmark, figure_printer):
+    out = benchmark(E.text_task_counts)
+    assert out["flat_cholesky_T(128)"] == out["paper_quote_32x32"] == 374_272
+    assert out["flat_cholesky_T(64)"] == out["paper_quote_64x64"] == 49_920
+    for n_blocks in (4, 6, 8):
+        assert out[f"recorded_hyper_N{n_blocks}"] == out[f"formula_hyper_N{n_blocks}"]
+    assert out["recorded_flat_N8"] == out["formula_flat_N8"]
+
+    class _F:
+        @staticmethod
+        def table():
+            rows = [
+                "Section VI task counts",
+                f"  T(128) = {out['flat_cholesky_T(128)']}  (paper quotes 374,272 for 32x32 blocks)",
+                f"  T(64)  = {out['flat_cholesky_T(64)']}   (paper quotes 49,920 for 64x64 blocks)",
+                "  note: both match a 4096x4096 matrix; the prose says 8192x8192"
+                " (see EXPERIMENTS.md)",
+            ]
+            return "\n".join(rows)
+
+    figure_printer(_F)

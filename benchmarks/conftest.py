@@ -1,0 +1,34 @@
+"""Shared helpers for the figure benchmarks.
+
+Every ``bench_figXX`` file regenerates one figure of the paper via
+``pytest benchmarks/ --benchmark-only``; the resulting series are
+printed so the run doubles as the EXPERIMENTS.md evidence.  Scale is
+controlled by ``REPRO_BENCH_SCALE``:
+
+* ``paper`` (default) — the paper's parameters where feasible (see
+  DESIGN.md for the two documented deviations);
+* ``quick`` — small inputs for smoke-testing the harness itself.
+"""
+
+import os
+
+import pytest
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "paper")
+
+
+def is_quick() -> bool:
+    return SCALE == "quick"
+
+
+@pytest.fixture
+def figure_printer(capsys):
+    """Print a FigureResult table so pytest -s / bench logs show it."""
+
+    def show(fig):
+        with capsys.disabled():
+            print()
+            print(fig.table())
+        return fig
+
+    return show

@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Run an annotated sequential program through the compiler, in parallel.
+
+``examples/annotated/blocked_matmul.py`` is ordinary Python with
+``#pragma css`` comments — it imports nothing from this library.  Here
+we load it through the source-to-source translator (the paper's
+compiler path) and execute it under the threaded runtime and, for
+comparison, sequentially.
+
+Run:  python examples/compiled_program.py
+"""
+
+import os
+import time
+
+from repro import SmpssRuntime
+from repro.compiler import load_annotated_module
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+ANNOTATED = os.path.join(HERE, "annotated", "blocked_matmul.py")
+
+
+def main() -> None:
+    module = load_annotated_module(ANNOTATED, "blocked_matmul_css")
+
+    print("== translated program, sequential execution ==")
+    start = time.perf_counter()
+    module.main(n=4, m=32)
+    print(f"   {time.perf_counter() - start:.3f}s")
+
+    print("== translated program, threaded SMPSs execution ==")
+    start = time.perf_counter()
+    with SmpssRuntime(num_workers=3):
+        module.main(n=4, m=32)
+    print(f"   {time.perf_counter() - start:.3f}s")
+    print("(identical checksums: the pragmas added parallelism, not semantics)")
+
+
+if __name__ == "__main__":
+    main()

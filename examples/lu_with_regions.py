@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Blocked LU with partial pivoting via array regions (section V).
+
+The paper motivates the region extension with exactly this algorithm:
+"the algorithm includes pivoting operations that consist in swapping
+columns and swapping rows.  Those two operations make it hard to
+block."  The paper proposed the syntax; this library implements it, so
+here is the worked LU the paper never showed: every task operates on a
+declared region of ONE flat matrix, and the dependency engine orders
+overlapping regions (row swaps vs trailing tiles) while running
+disjoint tiles in parallel.
+
+Run:  python examples/lu_with_regions.py
+"""
+
+import numpy as np
+
+from repro import SmpssRuntime, record_program
+from repro.apps.lu import lu_blocked, lu_reconstruct, lu_task_count
+
+
+def main(size: int = 96, block: int = 24) -> None:
+    rng = np.random.default_rng(0)
+    original = rng.standard_normal((size, size))
+
+    print(f"== threaded blocked LU ({size}x{size}, blocks of {block}) ==")
+    work = np.array(original)
+    with SmpssRuntime(num_workers=3, keep_graph=True) as rt:
+        ipiv = lu_blocked(work, block)
+        stats = rt.graph.stats
+
+    error = abs(lu_reconstruct(work, ipiv) - original).max()
+    print(f"   reconstruction |P^T L U - A|_max = {error:.2e}")
+    print(f"   tasks: {dict(stats.tasks_by_name)}")
+    print(f"   formula: {lu_task_count(size // block)}")
+    print(f"   edge kinds: {dict(stats.edges_by_kind)} "
+          "(regions use explicit anti/output edges — no renaming)")
+
+    print("\n== region-level parallelism ==")
+    work2 = np.array(original)
+    prog = record_program(lu_blocked, work2, block, execute="eager")
+    graph = prog.graph
+    print(f"   {prog.task_count} tasks, critical path "
+          f"{graph.critical_path_length()} — trailing tiles of one step "
+          "run in parallel, row swaps serialise per block column")
+
+    print("\n== solving a system with the factors ==")
+    import scipy.linalg as sla
+
+    b = rng.standard_normal(size)
+    x = np.array(b)
+    for row in range(size):
+        p = int(ipiv[row])
+        if p != row:
+            x[[row, p]] = x[[p, row]]
+    lower = np.tril(work, -1) + np.eye(size)
+    upper = np.triu(work)
+    y = sla.solve_triangular(lower, x, lower=True, unit_diagonal=True)
+    solution = sla.solve_triangular(upper, y)
+    print(f"   |A x - b|_max = {abs(original @ solution - b).max():.2e}")
+
+
+if __name__ == "__main__":
+    main()

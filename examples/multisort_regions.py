@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Multisort with array regions (Figure 7, section V).
+
+The section V.A language extension lets tasks declare *which part* of
+an array they touch: ``seqquick_t`` is ``inout(data{i..j})`` and
+``seqmerge_t`` reads two regions of the same parameter and writes a
+region of another.  The dependency engine orders overlapping regions
+and runs disjoint ones in parallel — no barriers anywhere in the code.
+
+Also demonstrates the section V.B *representants* workaround the paper
+used while its runtime lacked region support.
+
+Run:  python examples/multisort_regions.py
+"""
+
+import numpy as np
+
+from repro import Representant, RepresentantTable, SmpssRuntime, css_task, record_program
+from repro.apps.multisort import multisort
+
+
+def region_multisort_demo() -> None:
+    print("== Figure 7 multisort under the threaded runtime ==")
+    rng = np.random.default_rng(0)
+    data = rng.standard_normal(1 << 15).astype(np.float32)
+    expected = np.sort(data)
+
+    with SmpssRuntime(num_workers=3, keep_graph=True) as rt:
+        multisort(data, quicksize=1 << 11)
+        rt.barrier()
+        stats = rt.graph.stats
+    print(f"   sorted correctly: {bool((data == expected).all())}")
+    print(f"   tasks: {dict(stats.tasks_by_name)}")
+    print(f"   dependency edges: {stats.total_edges} "
+          f"({dict(stats.edges_by_kind)})")
+
+
+def region_parallelism_demo() -> None:
+    print("\n== regions: disjoint writes run in parallel ==")
+
+    @css_task("inout(data{i..j}) input(i, j)")
+    def fill(data, i, j):
+        data[i : j + 1] = i
+
+    data = np.zeros(100, np.float32)
+
+    prog = record_program(
+        lambda: [fill(data, i, i + 9) for i in range(0, 100, 10)],
+        execute="skip",
+    )
+    print(f"   10 disjoint region writes -> {prog.graph.stats.total_edges} edges "
+          "(zero: fully parallel)")
+
+    prog = record_program(
+        lambda: [fill(data, i, i + 19) for i in range(0, 80, 10)],
+        execute="skip",
+    )
+    print(f"   8 overlapping region writes -> {prog.graph.stats.total_edges} edges "
+          "(chained by overlap)")
+
+
+def representants_demo() -> None:
+    print("\n== section V.B: representants for a region-less runtime ==")
+    # One representant per matrix row; the matrix itself is opaque.
+    matrix = np.zeros((4, 100), np.float64)
+    rows = RepresentantTable("row")
+
+    @css_task("inout(rep) opaque(m) input(r)")
+    def scale_row(rep, m, r):  # noqa: ARG001 - rep carries the dependency
+        m[r] = m[r] * 2.0 + 1.0
+
+    @css_task("input(rep) opaque(m) input(r) inout(acc)")
+    def sum_row(rep, m, r, acc):  # noqa: ARG001
+        acc += m[r].sum()
+
+    acc = np.zeros(1)
+    with SmpssRuntime(num_workers=3) as rt:
+        for r in range(4):
+            scale_row(rows.for_key(r), matrix, r)
+            sum_row(rows.for_key(r), matrix, r, acc)
+            scale_row(rows.for_key(r), matrix, r)
+        rt.barrier()
+    # Each row: scaled (0*2+1=1), summed (100), scaled again (3).
+    print(f"   accumulated row sums: {acc[0]:.0f} (expected 400)")
+    print(f"   final matrix value: {matrix[0,0]:.0f} (expected 3)")
+    print("   rows were independent; per-row chains were ordered")
+
+
+if __name__ == "__main__":
+    region_multisort_demo()
+    region_parallelism_demo()
+    representants_demo()

@@ -1,0 +1,38 @@
+#!/usr/bin/env python3
+"""Drive the virtual 32-core Altix: regenerate a figure interactively.
+
+Every performance figure of the paper comes from the discrete-event
+simulator in ``repro.sim`` — the same dependency engine and scheduler
+as the threaded runtime, over virtual time with a calibrated cost
+model.  This example regenerates small versions of Figures 11 and 14
+and prints ASCII charts.
+
+Run:  python examples/simulated_altix.py
+"""
+
+from repro.bench import experiments as E
+
+
+def main() -> None:
+    print("regenerating a reduced Figure 11 (Cholesky scaling)...")
+    fig11 = E.fig11_cholesky_scaling(n=4096, m=256, threads=(1, 2, 4, 8, 16, 32))
+    print(fig11.table())
+    print()
+    print(fig11.ascii_chart(height=12, width=48))
+
+    print("\nregenerating a reduced Figure 14 (multisort speedup)...")
+    fig14 = E.fig14_multisort(n=1 << 20, quicksize=1 << 14,
+                              threads=(1, 2, 4, 8, 16, 32))
+    print(fig14.table())
+    print()
+    print(fig14.ascii_chart(height=12, width=48))
+
+    print("\nFigure 5 facts:")
+    facts = E.fig05_cholesky_graph()
+    print(f"  tasks: {facts['total_tasks']}, edges: {facts['edges']}, "
+          f"critical path: {facts['critical_path']}")
+    print(f"  task 51 unlocked by tasks {facts['witness']['task_51_unlocked_by']}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Matrix multiplication three ways (Figures 1, 3 and section VI.B).
+
+Shows how the same task (``sgemm_t``) powers:
+ * the dense hyper-matrix code of Figure 1 — and that *any* loop order
+   gives correct results, because ordering is the runtime's job;
+ * the sparse code of Figure 3, which allocates output blocks and
+   creates tasks purely on data demand;
+ * the flat-matrix variant with opaque pointers and on-demand copy
+   tasks used for the Figure 12 comparison.
+
+Run:  python examples/sparse_and_flat_matmul.py
+"""
+
+import numpy as np
+
+from repro import SmpssRuntime, record_program
+from repro.apps.matmul import matmul_dense, matmul_flat, matmul_sparse
+from repro.blas.hypermatrix import HyperMatrix
+
+
+def dense_any_order() -> None:
+    print("== dense hyper-matrix multiply, all six loop orders ==")
+    n, m = 4, 16
+    a = HyperMatrix.random(n, m, np.float64, seed=0)
+    b = HyperMatrix.random(n, m, np.float64, seed=1)
+    expected = a.to_dense() @ b.to_dense()
+    for order in ("ijk", "ikj", "jik", "jki", "kij", "kji"):
+        c = HyperMatrix.zeros(n, m, np.float64)
+        with SmpssRuntime(num_workers=3) as rt:
+            matmul_dense(a, b, c, loop_order=order)
+            rt.barrier()
+        err = abs(c.to_dense() - expected).max()
+        print(f"   order {order}: max error {err:.2e}")
+
+
+def sparse_demand_driven() -> None:
+    print("\n== sparse hyper-matrix multiply (Figure 3) ==")
+    n, m = 6, 8
+    a = HyperMatrix.random_sparse(n, m, density=0.3, dtype=np.float64, seed=2)
+    b = HyperMatrix.random_sparse(n, m, density=0.3, dtype=np.float64, seed=3)
+    c = HyperMatrix(n, m, np.float64)
+
+    prog = record_program(matmul_sparse, a, b, c, execute="eager")
+    dense_error = abs(c.to_dense() - a.to_dense() @ b.to_dense()).max()
+    print(f"   A has {a.block_count()}/{n*n} blocks, B has {b.block_count()}")
+    print(f"   C allocated {c.block_count()} blocks on demand")
+    print(f"   {prog.task_count} gemm tasks (dense would need {n**3})")
+    print(f"   max error {dense_error:.2e}")
+
+
+def flat_with_opaque_pointers() -> None:
+    print("\n== flat matmul with on-demand block copies (section VI.B) ==")
+    size, block = 128, 32
+    rng = np.random.default_rng(4)
+    a = rng.standard_normal((size, size)).astype(np.float64)
+    b = rng.standard_normal((size, size)).astype(np.float64)
+    c = np.zeros((size, size))
+    with SmpssRuntime(num_workers=3, keep_graph=True) as rt:
+        matmul_flat(a, b, c, block)
+        rt.barrier()
+        counts = dict(rt.graph.stats.tasks_by_name)
+    print(f"   max error {abs(c - a @ b).max():.2e}")
+    print(f"   task mix: {counts}")
+    print("   the flat arrays were opaque: only the tiles carried deps")
+
+
+if __name__ == "__main__":
+    dense_any_order()
+    sparse_demand_driven()
+    flat_with_opaque_pointers()

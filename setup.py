@@ -1,0 +1,23 @@
+"""Setuptools entry point.
+
+A classic ``setup.py`` is kept alongside ``pyproject.toml`` so that
+``pip install -e .`` works in fully offline environments whose
+setuptools predates wheel-free editable builds (PEP 660 needs the
+``wheel`` package before setuptools 70).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of SMP superscalar (SMPSs): a dependency-aware "
+        "task-based programming environment for multi-core architectures "
+        "(Perez, Badia, Labarta; IEEE Cluster 2008)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy", "scipy", "networkx"],
+)

@@ -1,0 +1,76 @@
+"""repro — a Python reproduction of SMP superscalar (SMPSs).
+
+Reproduces "A Dependency-Aware Task-Based Programming Environment for
+Multi-Core Architectures" (Perez, Badia, Labarta; IEEE Cluster 2008):
+a task-based programming model with run-time dependency analysis,
+register-style renaming, and a locality-aware work-stealing scheduler,
+plus the machinery to regenerate every figure of the paper's
+evaluation.  See README.md and DESIGN.md.
+
+Quickstart::
+
+    import numpy as np
+    from repro import css_task, SmpssRuntime
+
+    @css_task("input(a, b) inout(c)")
+    def sgemm_t(a, b, c):
+        c += a @ b
+
+    A, B, C = (np.ones((64, 64), np.float32) for _ in range(3))
+    with SmpssRuntime(num_workers=3) as rt:
+        sgemm_t(A, B, C)
+        rt.barrier()
+"""
+
+from .core import (
+    CentralQueueScheduler,
+    DependencyError,
+    Direction,
+    EdgeKind,
+    InvocationError,
+    PragmaError,
+    RecordingRuntime,
+    Region,
+    RegionError,
+    Representant,
+    RepresentantTable,
+    RuntimeConfig,
+    SmpssRuntime,
+    SmpssScheduler,
+    TaskExecutionError,
+    TaskGraph,
+    Tracer,
+    barrier,
+    css_task,
+    current_runtime,
+    parse_pragma,
+    record_program,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CentralQueueScheduler",
+    "DependencyError",
+    "Direction",
+    "EdgeKind",
+    "InvocationError",
+    "PragmaError",
+    "RecordingRuntime",
+    "Region",
+    "RegionError",
+    "Representant",
+    "RepresentantTable",
+    "RuntimeConfig",
+    "SmpssRuntime",
+    "SmpssScheduler",
+    "TaskExecutionError",
+    "TaskGraph",
+    "Tracer",
+    "barrier",
+    "css_task",
+    "current_runtime",
+    "parse_pragma",
+    "record_program",
+    "__version__",
+]

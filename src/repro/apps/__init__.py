@@ -1,0 +1,13 @@
+"""Applications from the paper's evaluation (sections IV-VI).
+
+One module per algorithm: matrix multiplication (dense, sparse, flat
+with on-demand copies), Cholesky (hyper-matrix and flat), Strassen,
+Multisort, N Queens, and the blocked LU with partial pivoting that
+section V motivates.  Every module exposes an annotated ``*_main``
+program that runs sequentially, under the threaded runtime, or under a
+recording runtime unchanged — the paper's dual-compilation property.
+"""
+
+from . import cholesky, lu, matmul, multisort, nqueens, strassen, tasks
+
+__all__ = ["cholesky", "lu", "matmul", "multisort", "nqueens", "strassen", "tasks"]

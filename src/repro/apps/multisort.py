@@ -1,0 +1,158 @@
+"""Multisort (Figure 7; evaluation section VI.D).
+
+* :func:`multisort` — the Figure 7 program verbatim: split into four
+  quarters per recursion step, sort each (``seqquick_t`` at the base),
+  then three ``seqmerge_t`` tasks through a temporary array.  All
+  inter-task ordering comes from the array-region dependency analysis
+  of section V.A — there are no explicit barriers.
+* :func:`multisort_recursive_merge_topology` — the section VI.D variant
+  where "the seqmerge task invocations have been replaced by calls to a
+  recursive merge function".  Real divide-and-conquer merging picks
+  split points by binary search on *values*, which is inherently
+  data-dependent; this generator reproduces the task *topology and
+  sizes* with balanced positional splits and is used (in skip-mode
+  recording) by the Figure 14 simulator only — executing its merge
+  leaves would not produce a sorted array.  The numerically correct
+  program remains :func:`multisort`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.api import barrier, css_task, current_runtime
+from .tasks import seqmerge_t, seqquick_t
+
+
+@css_task(
+    "input(src{l1..h1}, src{l2..h2}, l1, h1, l2, h2, d0, d1) output(dest{d0..d1})"
+)
+def seqmerge_piece_t(src, l1, h1, l2, h2, dest, d0, d1):
+    """One piece of a divide-and-conquer merge, with explicit dest bounds.
+
+    Unlike Figure 7's ``seqmerge_t`` (whose two source ranges are
+    adjacent, so the output region is simply ``{i1..j2}``), a recursive
+    merge piece reads two *non-adjacent* source windows; its write
+    region must therefore be declared separately (``dest{d0..d1}``).
+    """
+
+    left = src[l1 : h1 + 1]
+    right = src[l2 : h2 + 1]
+    import numpy as _np
+
+    merged = _np.sort(_np.concatenate([left, right]), kind="mergesort")
+    dest[d0 : d1 + 1] = merged
+
+__all__ = [
+    "multisort",
+    "multisort_recursive_merge_topology",
+    "sequential_sort",
+    "DEFAULT_QUICKSIZE",
+]
+
+DEFAULT_QUICKSIZE = 1024
+
+
+def sequential_sort(data: np.ndarray) -> np.ndarray:
+    """The sequential oracle (in place; returns *data*)."""
+
+    data.sort(kind="quicksort")
+    return data
+
+
+def multisort(
+    data: np.ndarray, tmp: np.ndarray | None = None, quicksize: int = DEFAULT_QUICKSIZE
+) -> np.ndarray:
+    """Figure 7: sort *data* in place with 4-way recursive splitting."""
+
+    if data.ndim != 1:
+        raise ValueError("multisort sorts 1-D arrays")
+    if quicksize < 4:
+        raise ValueError("quicksize must be at least 4")
+    if tmp is None:
+        tmp = np.empty_like(data)
+    if tmp.shape != data.shape:
+        raise ValueError("tmp must have the same shape as data")
+    if len(data):
+        _sort(data, 0, len(data) - 1, tmp, quicksize)
+        if current_runtime() is not None:
+            barrier()
+    return data
+
+
+def _sort(data: np.ndarray, i: int, j: int, tmp: np.ndarray, quicksize: int) -> None:
+    size = j - i + 1
+    if size <= quicksize:
+        seqquick_t(data, i, j)
+        return
+    quarter = size // 4
+    i1, j1 = i, i + quarter - 1
+    i2, j2 = i + quarter, i + 2 * quarter - 1
+    i3, j3 = i + 2 * quarter, i + 3 * quarter - 1
+    i4, j4 = i + 3 * quarter, j
+    _sort(data, i1, j1, tmp, quicksize)
+    _sort(data, i2, j2, tmp, quicksize)
+    _sort(data, i3, j3, tmp, quicksize)
+    _sort(data, i4, j4, tmp, quicksize)
+    seqmerge_t(data, i1, j1, i2, j2, tmp)
+    seqmerge_t(data, i3, j3, i4, j4, tmp)
+    seqmerge_t(tmp, i1, j2, i3, j4, data)
+
+
+def multisort_recursive_merge_topology(
+    data: np.ndarray,
+    tmp: np.ndarray,
+    quicksize: int = DEFAULT_QUICKSIZE,
+    merge_leaf: int | None = None,
+) -> None:
+    """Section VI.D task topology with divide-and-conquer merges.
+
+    Only meaningful under a skip-mode recording runtime (see module
+    docstring).  *merge_leaf* is the range size below which a merge is
+    one ``seqmerge_t`` task; it defaults to *quicksize*.
+    """
+
+    if merge_leaf is None:
+        merge_leaf = quicksize
+    _sort_rm(data, 0, len(data) - 1, tmp, quicksize, merge_leaf)
+
+
+def _sort_rm(data, i, j, tmp, quicksize, merge_leaf) -> None:
+    size = j - i + 1
+    if size <= quicksize:
+        seqquick_t(data, i, j)
+        return
+    quarter = size // 4
+    i1, j1 = i, i + quarter - 1
+    i2, j2 = i + quarter, i + 2 * quarter - 1
+    i3, j3 = i + 2 * quarter, i + 3 * quarter - 1
+    i4, j4 = i + 3 * quarter, j
+    _sort_rm(data, i1, j1, tmp, quicksize, merge_leaf)
+    _sort_rm(data, i2, j2, tmp, quicksize, merge_leaf)
+    _sort_rm(data, i3, j3, tmp, quicksize, merge_leaf)
+    _sort_rm(data, i4, j4, tmp, quicksize, merge_leaf)
+    _merge_rm(data, i1, j1, i2, j2, tmp, i1, merge_leaf)
+    _merge_rm(data, i3, j3, i4, j4, tmp, i3, merge_leaf)
+    _merge_rm(tmp, i1, j2, i3, j4, data, i1, merge_leaf)
+
+
+def _merge_rm(src, l1, h1, l2, h2, dest, dlo, merge_leaf) -> None:
+    """Balanced-split divide-and-conquer merge (topology only)."""
+
+    total = max(h1 - l1 + 1, 0) + max(h2 - l2 + 1, 0)
+    if total <= 0:
+        return
+    if total <= merge_leaf or h1 < l1 or h2 < l2:
+        if h1 < l1:
+            l1 = h1 = l2  # degenerate: merge the remaining run with itself
+        if h2 < l2:
+            l2 = h2 = h1
+        seqmerge_piece_t(src, l1, h1, l2, h2, dest, dlo, dlo + total - 1)
+        return
+    m1 = (l1 + h1) // 2
+    # A real implementation binary-searches src[l2..h2] for src[m1];
+    # we split positionally to keep the topology static.
+    m2 = l2 + min(h2 - l2, (m1 - l1))
+    left_size = (m1 - l1 + 1) + (m2 - l2 + 1)
+    _merge_rm(src, l1, m1, l2, m2, dest, dlo, merge_leaf)
+    _merge_rm(src, m1 + 1, h1, m2 + 1, h2, dest, dlo + left_size, merge_leaf)

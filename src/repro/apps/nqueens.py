@@ -1,0 +1,128 @@
+"""N Queens (evaluation section VI.E).
+
+Three versions, matching the paper's comparison:
+
+* :func:`nqueens_sequential` — one solution array, no copies: "a
+  sequential version should not contain artifacts necessary for a
+  parallel paradigm".
+* :func:`nqueens_smpss` — the SMPSs version: the first levels of the
+  recursion run in the main program, placing queens through a tiny
+  ``inout`` task; the last *task_levels* levels are solved by
+  ``nqueens_task`` leaf tasks.  Sibling placements are WAR hazards
+  against pending leaf tasks, and "the runtime takes care of it by
+  renaming the array as needed" — no hand duplication.
+* :func:`nqueens_duplicating` — the OpenMP 3.0 / Cilk structure, which
+  "requires allocating a copy of the partial solution array" at every
+  nested task entrance; used as the baseline topology and to reproduce
+  the Figure 15/16 normalisation discussion.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.api import barrier, current_runtime
+from .tasks import _count_completions, _legal, nqueens_task, place_t
+
+__all__ = [
+    "nqueens_sequential",
+    "nqueens_smpss",
+    "nqueens_duplicating",
+    "KNOWN_SOLUTIONS",
+    "DEFAULT_TASK_LEVELS",
+]
+
+#: Known solution counts for validation.
+KNOWN_SOLUTIONS = {
+    1: 1, 2: 0, 3: 0, 4: 2, 5: 10, 6: 4, 7: 40, 8: 92,
+    9: 352, 10: 724, 11: 2680, 12: 14200, 13: 73712,
+}
+
+#: Depth of the main-program decomposition: the first 4 recursion
+#: levels spawn, and each leaf task sequentially computes the remaining
+#: levels without further decomposition ("a sequential task that does
+#: not get decomposed", section VI.E) — this is what gives leaf tasks
+#: the granularity the runtime needs.
+DEFAULT_TASK_LEVELS = 4
+
+
+def nqueens_sequential(n: int) -> tuple[int, int]:
+    """Count all solutions; returns (solutions, nodes visited)."""
+
+    return _count_completions(n, 0, [])
+
+
+def nqueens_smpss(n: int, task_levels: int = DEFAULT_TASK_LEVELS):
+    """The SMPSs decomposition.
+
+    Returns the list of per-task result cells; after a barrier,
+    ``sum(cell[0]...)`` is the solution count.  Under no runtime it runs
+    sequentially and the cells are already final.
+    """
+
+    task_depth = min(task_levels, n)
+    a = np.zeros(n, dtype=np.int32)
+    cells: list[np.ndarray] = []
+
+    def explore(j: int, placed: tuple[int, ...]) -> None:
+        if j == task_depth:
+            cell = np.zeros(2, dtype=np.int64)
+            cells.append(cell)
+            nqueens_task(n, j, a, cell)
+            return
+        for col in range(n):
+            # Legality is checked against the main program's own
+            # record of what it placed (its loop state), not by reading
+            # the tracked array — tasks may still be consuming older
+            # versions of it.
+            if _legal(list(placed), col):
+                place_t(a, j, col)
+                explore(j + 1, placed + (col,))
+
+    explore(0, ())
+    return cells
+
+
+def nqueens_smpss_count(n: int, task_levels: int = DEFAULT_TASK_LEVELS) -> int:
+    """Run :func:`nqueens_smpss` to completion and return the count."""
+
+    cells = nqueens_smpss(n, task_levels)
+    if current_runtime() is not None:
+        barrier()
+    return int(sum(int(cell[0]) for cell in cells))
+
+
+def nqueens_duplicating(n: int, task_levels: int = DEFAULT_TASK_LEVELS):
+    """The OpenMP-3.0/Cilk structure: copy the array at every spawn.
+
+    "At each nested task entrance the OpenMP tasking version requires
+    allocating a copy of the partial solution array so that tasks at the
+    same recursion level do not overwrite each other's partial
+    solutions."  Each leaf receives its own private copy; the extra
+    allocation+copy is the measured artifact of Figures 15/16.
+    """
+
+    task_depth = min(task_levels, n)
+    cells: list[np.ndarray] = []
+
+    def explore(j: int, a: np.ndarray) -> None:
+        if j == task_depth:
+            cell = np.zeros(2, dtype=np.int64)
+            cells.append(cell)
+            nqueens_task(n, j, a, cell)
+            return
+        for col in range(n):
+            if _legal([int(x) for x in a[:j]], col):
+                dup = np.array(a, copy=True)  # the hand-duplication artifact
+                dup[j] = col
+                explore(j + 1, dup)
+
+    explore(0, np.zeros(n, dtype=np.int32))
+    return cells
+
+
+def nqueens_duplicating_count(n: int, task_levels: int = DEFAULT_TASK_LEVELS) -> int:
+    cells = nqueens_duplicating(n, task_levels)
+    if current_runtime() is not None:
+        barrier()
+    return int(sum(int(cell[0]) for cell in cells))

@@ -1,0 +1,227 @@
+"""Strassen's algorithm (evaluation section VI.C).
+
+"Strassen's algorithm makes heavy usage of temporary matrices, which
+combined with a recursive implementation, results in an intensive
+renaming test case."
+
+The recursion reuses two scratch operand grids for all seven products
+at every node — the natural way C code reuses work arrays — so each
+product's writes are WAR hazards against the previous product's pending
+reads.  With renaming on, the runtime silently gives every product its
+own buffers; with renaming off, the seven products serialise (the
+ablation benchmark measures exactly this).
+
+Tasks: block multiplications (``smul_t``), additions and subtractions,
+as the paper states.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..blas.hypermatrix import HyperMatrix
+from ..core.api import css_task
+
+__all__ = [
+    "smul_t",
+    "sacc_t",
+    "ssubacc_t",
+    "strassen_multiply",
+    "strassen_flops",
+    "strassen_task_count",
+]
+
+
+@css_task("input(a, b) output(c)")
+def smul_t(a, b, c):
+    """Leaf product ``c = a @ b`` (fresh output: renameable)."""
+
+    np.matmul(a, b, out=c)
+
+
+@css_task("input(a) inout(c)")
+def sacc_t(a, c):
+    """Accumulate ``c += a`` (the M-combination step)."""
+
+    c += a
+
+
+@css_task("input(a) inout(c)")
+def ssubacc_t(a, c):
+    """Accumulate ``c -= a``."""
+
+    c -= a
+
+
+@css_task("input(a, b) output(c)")
+def _sadd_t(a, b, c):
+    np.add(a, b, out=c)
+
+
+@css_task("input(a, b) output(c)")
+def _ssub_t(a, b, c):
+    np.subtract(a, b, out=c)
+
+
+class _View:
+    """A square sub-grid of a block grid (no copies)."""
+
+    __slots__ = ("grid", "r0", "c0", "n")
+
+    def __init__(self, grid, r0: int, c0: int, n: int):
+        self.grid = grid
+        self.r0 = r0
+        self.c0 = c0
+        self.n = n
+
+    def block(self, i: int, j: int):
+        return self.grid[self.r0 + i][self.c0 + j]
+
+    def quadrant(self, qi: int, qj: int) -> "_View":
+        half = self.n // 2
+        return _View(self.grid, self.r0 + qi * half, self.c0 + qj * half, half)
+
+
+def _alloc_grid(n: int, m: int, dtype) -> list[list[np.ndarray]]:
+    return [[np.empty((m, m), dtype) for _ in range(n)] for _ in range(n)]
+
+
+def _view_of(hm) -> _View:
+    if isinstance(hm, HyperMatrix):
+        return _View(hm, 0, 0, hm.n)
+    return _View(hm, 0, 0, len(hm))
+
+
+def _add(x: _View, y: _View, out: _View) -> None:
+    for i in range(x.n):
+        for j in range(x.n):
+            _sadd_t(x.block(i, j), y.block(i, j), out.block(i, j))
+
+
+def _sub(x: _View, y: _View, out: _View) -> None:
+    for i in range(x.n):
+        for j in range(x.n):
+            _ssub_t(x.block(i, j), y.block(i, j), out.block(i, j))
+
+
+def _acc(src: _View, dst: _View, sign: int) -> None:
+    task = sacc_t if sign > 0 else ssubacc_t
+    for i in range(src.n):
+        for j in range(src.n):
+            task(src.block(i, j), dst.block(i, j))
+
+
+_ZERO_CACHE: dict[int, np.ndarray] = {}
+
+
+def _zero(m: int, dtype) -> np.ndarray:
+    key = m
+    block = _ZERO_CACHE.get(key)
+    if block is None or block.dtype != dtype:
+        block = np.zeros((m, m), dtype)
+        _ZERO_CACHE[key] = block
+    return block
+
+
+def strassen_multiply(a, b, c) -> None:
+    """Compute ``C = A @ B`` with Strassen's recursion.
+
+    *a*, *b*, *c* are :class:`HyperMatrix` (or nested block lists) with
+    a power-of-two number of blocks per side.  ``c``'s blocks are
+    overwritten.
+    """
+
+    va, vb, vc = _view_of(a), _view_of(b), _view_of(c)
+    if va.n & (va.n - 1):
+        raise ValueError(f"Strassen needs a power-of-two block count, got {va.n}")
+    sample = va.block(0, 0)
+    _zero(sample.shape[0], sample.dtype)  # warm the shared zero tile
+    _strassen(va, vb, vc, sample.shape[0], sample.dtype)
+
+
+def _strassen(a: _View, b: _View, c: _View, m: int, dtype) -> None:
+    if a.n == 1:
+        smul_t(a.block(0, 0), b.block(0, 0), c.block(0, 0))
+        return
+    half = a.n // 2
+    a11, a12, a21, a22 = (a.quadrant(i, j) for i in (0, 1) for j in (0, 1))
+    b11, b12, b21, b22 = (b.quadrant(i, j) for i in (0, 1) for j in (0, 1))
+    c11, c12, c21, c22 = (c.quadrant(i, j) for i in (0, 1) for j in (0, 1))
+
+    # Scratch operands, deliberately REUSED across the seven products:
+    # the renaming stress case described in section VI.C.
+    ta = _View(_alloc_grid(half, m, dtype), 0, 0, half)
+    tb = _View(_alloc_grid(half, m, dtype), 0, 0, half)
+    products = [
+        _View(_alloc_grid(half, m, dtype), 0, 0, half) for _ in range(7)
+    ]
+    m1, m2, m3, m4, m5, m6, m7 = products
+
+    _add(a11, a22, ta)
+    _add(b11, b22, tb)
+    _strassen(ta, tb, m1, m, dtype)  # M1 = (A11+A22)(B11+B22)
+
+    _add(a21, a22, ta)  # reuse of ta: WAR vs pending M1 reads -> rename
+    _strassen(ta, b11, m2, m, dtype)  # M2 = (A21+A22) B11
+
+    _sub(b12, b22, tb)
+    _strassen(a11, tb, m3, m, dtype)  # M3 = A11 (B12-B22)
+
+    _sub(b21, b11, tb)
+    _strassen(a22, tb, m4, m, dtype)  # M4 = A22 (B21-B11)
+
+    _add(a11, a12, ta)
+    _strassen(ta, b22, m5, m, dtype)  # M5 = (A11+A12) B22
+
+    _sub(a21, a11, ta)
+    _add(b11, b12, tb)
+    _strassen(ta, tb, m6, m, dtype)  # M6 = (A21-A11)(B11+B12)
+
+    _sub(a12, a22, ta)
+    _add(b21, b22, tb)
+    _strassen(ta, tb, m7, m, dtype)  # M7 = (A12-A22)(B21+B22)
+
+    # C11 = M1 + M4 - M5 + M7
+    _add(m1, m4, c11)
+    _acc(m5, c11, -1)
+    _acc(m7, c11, +1)
+    # C12 = M3 + M5
+    _add(m3, m5, c12)
+    # C21 = M2 + M4
+    _add(m2, m4, c21)
+    # C22 = M1 - M2 + M3 + M6
+    _sub(m1, m2, c22)
+    _acc(m3, c22, +1)
+    _acc(m6, c22, +1)
+
+
+# ---------------------------------------------------------------------------
+# Operation accounting ("Gflops figures have been calculated using
+# Strassen's formula", section VI.C)
+# ---------------------------------------------------------------------------
+
+def strassen_task_count(n_blocks: int) -> dict[str, int]:
+    """Task counts of one ``strassen_multiply`` on N-block matrices."""
+
+    if n_blocks & (n_blocks - 1):
+        raise ValueError("power-of-two block count required")
+    muls = 0
+    adds = 0
+    n = n_blocks
+    nodes = 1
+    while n > 1:
+        half = n // 2
+        per_node_adds = (10 + 8) * half * half  # 10 operand prep + 8 combine
+        adds += nodes * per_node_adds
+        nodes *= 7
+        n = half
+    muls = nodes
+    return {"smul_t": muls, "add_like": adds, "total": muls + adds}
+
+
+def strassen_flops(n_blocks: int, block_size: int) -> int:
+    """Floating-point operations of the Strassen execution itself."""
+
+    counts = strassen_task_count(n_blocks)
+    m = block_size
+    return counts["smul_t"] * (2 * m ** 3 - m * m) + counts["add_like"] * m * m

@@ -1,0 +1,12 @@
+"""Benchmark harness: regenerates every figure of the paper (section VI).
+
+:mod:`repro.bench.experiments` has one entry point per figure; each
+returns a :class:`repro.bench.harness.FigureResult` whose ``table()``
+prints the same rows/series the paper plots.  The pytest-benchmark
+drivers in ``benchmarks/`` call these entry points.
+"""
+
+from .harness import FigureResult, Series
+from . import experiments
+
+__all__ = ["FigureResult", "Series", "experiments"]

@@ -1,0 +1,105 @@
+"""Regenerate the paper's figures from the command line.
+
+Usage::
+
+    python -m repro.bench list
+    python -m repro.bench fig11
+    python -m repro.bench fig14 --quick --chart
+    python -m repro.bench all --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import experiments as E
+
+_FIGURES = {
+    "fig08": "fig08_cholesky_blocksize",
+    "fig11": "fig11_cholesky_scaling",
+    "fig12": "fig12_matmul_scaling",
+    "fig13": "fig13_strassen_scaling",
+    "fig14": "fig14_multisort",
+    "fig15": "fig15_nqueens",
+    "fig16": "fig16_nqueens_scalability",
+}
+
+_QUICK_PARAMS = {
+    "fig08": dict(n=1024, block_sizes=(32, 64, 128, 256), cores=8),
+    "fig11": dict(n=2048, m=256, threads=(1, 2, 4, 8)),
+    "fig12": dict(n=2048, m=512, threads=(1, 2, 4, 8)),
+    "fig13": dict(n=2048, m=512, threads=(1, 2, 4, 8)),
+    "fig14": dict(n=1 << 18, quicksize=1 << 13, threads=(1, 2, 4, 8)),
+    "fig15": dict(n=9, threads=(1, 2, 4, 8)),
+    "fig16": dict(n=9, threads=(1, 2, 4, 8)),
+}
+
+
+def _run_figure(key: str, quick: bool, chart: bool, save: str | None = None) -> None:
+    func = getattr(E, _FIGURES[key])
+    params = _QUICK_PARAMS[key] if quick else {}
+    start = time.perf_counter()
+    fig = func(**params)
+    elapsed = time.perf_counter() - start
+    print(fig.table())
+    if chart:
+        print()
+        print(fig.ascii_chart())
+    if save:
+        import os
+
+        os.makedirs(save, exist_ok=True)
+        path = os.path.join(save, f"{key}.csv")
+        fig.save(path)
+        fig.save(os.path.join(save, f"{key}.json"))
+        print(f"  saved {path} / .json")
+    print(f"  [{elapsed:.1f}s]")
+    print()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate figures from the SMPSs paper's evaluation.",
+    )
+    parser.add_argument(
+        "target",
+        help="figure id (fig08..fig16), 'fig05', 'counts', 'all', or 'list'",
+    )
+    parser.add_argument("--quick", action="store_true", help="reduced scale")
+    parser.add_argument("--chart", action="store_true", help="ASCII charts too")
+    parser.add_argument("--save", metavar="DIR", help="write CSV/JSON files here")
+    args = parser.parse_args(argv)
+
+    if args.target == "list":
+        print("available: fig05, " + ", ".join(_FIGURES) + ", counts, all")
+        return 0
+    if args.target == "fig05":
+        facts = E.fig05_cholesky_graph()
+        print(f"Figure 5: {facts['total_tasks']} tasks, {facts['edges']} edges, "
+              f"critical path {facts['critical_path']}")
+        print(f"  task 51 unlocked by {facts['witness']['task_51_unlocked_by']}")
+        return 0
+    if args.target == "counts":
+        for key, value in E.text_task_counts().items():
+            print(f"  {key}: {value}")
+        return 0
+    if args.target == "all":
+        _run_figure_all(args.quick, args.chart, args.save)
+        return 0
+    if args.target in _FIGURES:
+        _run_figure(args.target, args.quick, args.chart, args.save)
+        return 0
+    print(f"unknown target {args.target!r}; try 'list'", file=sys.stderr)
+    return 1
+
+
+def _run_figure_all(quick: bool, chart: bool, save: str | None = None) -> None:
+    for key in _FIGURES:
+        _run_figure(key, quick, chart, save)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,36 @@
+"""BLAS substrate: numpy-backed tile kernels + matrix containers.
+
+Stands in for the paper's "highly tuned BLAS libraries" (non-threaded
+Goto BLAS 1.20 and MKL 9.1): numerically correct level-3 tile kernels
+(:mod:`repro.blas.kernels`), naive reference implementations for
+verification (:mod:`repro.blas.reference`), hyper-matrix containers
+(section IV) and flat-matrix blocking helpers (section VI.A, Figure 10).
+"""
+
+from .flat import alloc_block, get_block, put_block, to_blocked, from_blocked
+from .hypermatrix import HyperMatrix
+from .kernels import (
+    gemm,
+    gemm_nt,
+    geadd,
+    gesub,
+    potrf,
+    syrk,
+    trsm,
+)
+
+__all__ = [
+    "HyperMatrix",
+    "alloc_block",
+    "get_block",
+    "put_block",
+    "to_blocked",
+    "from_blocked",
+    "gemm",
+    "gemm_nt",
+    "geadd",
+    "gesub",
+    "potrf",
+    "syrk",
+    "trsm",
+]

@@ -1,0 +1,61 @@
+"""Flat-matrix blocking helpers (section VI.A, Figures 9 and 10).
+
+"The flat input matrix is copied block by block into an hyper-matrix on
+an as needed basis" — these are the plain-function versions of
+``get_block``/``put_block``; the task-annotated versions (which receive
+the flat matrix as an *opaque* pointer, skipping dependency analysis)
+live in :mod:`repro.apps.tasks`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["alloc_block", "get_block", "put_block", "to_blocked", "from_blocked"]
+
+
+def alloc_block(m: int, dtype=np.float32) -> np.ndarray:
+    """Allocate one uninitialised M x M block (the paper's alloc_block)."""
+
+    return np.empty((m, m), dtype)
+
+
+def get_block(i: int, j: int, flat: np.ndarray, block: np.ndarray) -> None:
+    """Copy block (i, j) of *flat* into *block* (Figure 10's get_block)."""
+
+    m = block.shape[0]
+    block[...] = flat[i * m : (i + 1) * m, j * m : (j + 1) * m]
+
+
+def put_block(i: int, j: int, block: np.ndarray, flat: np.ndarray) -> None:
+    """Copy *block* back into block (i, j) of *flat* (Figure 10)."""
+
+    m = block.shape[0]
+    flat[i * m : (i + 1) * m, j * m : (j + 1) * m] = block
+
+
+def to_blocked(flat: np.ndarray, m: int) -> list[list[np.ndarray]]:
+    """Copy a flat matrix into a nested-list hyper-matrix of M x M blocks."""
+
+    size = flat.shape[0]
+    if size % m:
+        raise ValueError(f"matrix size {size} not divisible by block size {m}")
+    n = size // m
+    grid: list[list[np.ndarray]] = []
+    for i in range(n):
+        row = []
+        for j in range(n):
+            block = alloc_block(m, flat.dtype)
+            get_block(i, j, flat, block)
+            row.append(block)
+        grid.append(row)
+    return grid
+
+
+def from_blocked(grid: list[list[np.ndarray]], out: np.ndarray) -> None:
+    """Copy every present block of *grid* back into the flat matrix."""
+
+    for i, row in enumerate(grid):
+        for j, block in enumerate(row):
+            if block is not None:
+                put_block(i, j, block, out)

@@ -1,0 +1,202 @@
+"""Hyper-matrices (section IV).
+
+"A typical case is to use hyper-matrices to decompose a linear algebra
+algorithm.  In the following examples we will use 1-level hyper-matrixes
+of N by N blocks, each of M by M elements."
+
+A :class:`HyperMatrix` is an N-by-N grid whose cells are either ``None``
+(absent block — the sparse codes of Figure 3) or an M-by-M numpy array.
+Block arrays are *stable objects*: the dependency engine tracks them by
+identity, exactly as the C runtime tracks their base addresses.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+import numpy as np
+
+__all__ = ["HyperMatrix"]
+
+
+class HyperMatrix:
+    """N x N grid of M x M blocks (cells may be ``None`` when sparse)."""
+
+    def __init__(self, n_blocks: int, block_size: int, dtype=np.float32):
+        if n_blocks < 1 or block_size < 1:
+            raise ValueError("n_blocks and block_size must be positive")
+        self.n = n_blocks
+        self.m = block_size
+        self.dtype = np.dtype(dtype)
+        self._blocks: list[list[Optional[np.ndarray]]] = [
+            [None] * n_blocks for _ in range(n_blocks)
+        ]
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def zeros(cls, n_blocks: int, block_size: int, dtype=np.float32) -> "HyperMatrix":
+        hm = cls(n_blocks, block_size, dtype)
+        for i in range(n_blocks):
+            for j in range(n_blocks):
+                hm._blocks[i][j] = np.zeros((block_size, block_size), dtype)
+        return hm
+
+    @classmethod
+    def from_dense(cls, matrix: np.ndarray, block_size: int) -> "HyperMatrix":
+        """Split a flat matrix into blocks (copies, like Figure 10)."""
+
+        size = matrix.shape[0]
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise ValueError(f"need a square matrix, got {matrix.shape}")
+        if size % block_size:
+            raise ValueError(f"{size} not divisible by block size {block_size}")
+        n = size // block_size
+        hm = cls(n, block_size, matrix.dtype)
+        for i in range(n):
+            for j in range(n):
+                hm._blocks[i][j] = np.array(
+                    matrix[
+                        i * block_size : (i + 1) * block_size,
+                        j * block_size : (j + 1) * block_size,
+                    ],
+                    copy=True,
+                )
+        return hm
+
+    @classmethod
+    def random(
+        cls, n_blocks: int, block_size: int, dtype=np.float32, seed: int = 0
+    ) -> "HyperMatrix":
+        rng = np.random.default_rng(seed)
+        hm = cls(n_blocks, block_size, dtype)
+        for i in range(n_blocks):
+            for j in range(n_blocks):
+                hm._blocks[i][j] = rng.standard_normal(
+                    (block_size, block_size)
+                ).astype(dtype)
+        return hm
+
+    @classmethod
+    def random_spd(
+        cls, n_blocks: int, block_size: int, dtype=np.float64, seed: int = 0
+    ) -> "HyperMatrix":
+        """A symmetric positive-definite hyper-matrix (Cholesky input)."""
+
+        size = n_blocks * block_size
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((size, size))
+        spd = (x @ x.T + size * np.eye(size)).astype(dtype)
+        return cls.from_dense(spd, block_size)
+
+    @classmethod
+    def random_sparse(
+        cls,
+        n_blocks: int,
+        block_size: int,
+        density: float = 0.3,
+        dtype=np.float32,
+        seed: int = 0,
+    ) -> "HyperMatrix":
+        """A block-sparse hyper-matrix (Figure 3's input)."""
+
+        if not 0.0 <= density <= 1.0:
+            raise ValueError(f"density {density} out of [0, 1]")
+        rng = np.random.default_rng(seed)
+        hm = cls(n_blocks, block_size, dtype)
+        for i in range(n_blocks):
+            for j in range(n_blocks):
+                if rng.random() < density:
+                    hm._blocks[i][j] = rng.standard_normal(
+                        (block_size, block_size)
+                    ).astype(dtype)
+        return hm
+
+    # ------------------------------------------------------------------
+    # element access (grid level)
+    # ------------------------------------------------------------------
+    def __getitem__(self, idx):
+        # hm[i][j] -> row list (mirrors the paper's A[i][j] C syntax);
+        # hm[i, j] -> block.
+        if isinstance(idx, tuple):
+            i, j = idx
+            return self._blocks[i][j]
+        return self._blocks[idx]
+
+    def __setitem__(self, idx, value) -> None:
+        if isinstance(idx, tuple):
+            i, j = idx
+            self._check_block(value)
+            self._blocks[i][j] = value
+        else:
+            raise TypeError("assign blocks with hm[i, j] = block")
+
+    def _check_block(self, value) -> None:
+        if value is not None:
+            if not isinstance(value, np.ndarray) or value.shape != (self.m, self.m):
+                raise ValueError(
+                    f"block must be a {self.m}x{self.m} ndarray or None"
+                )
+
+    def alloc_block(self, i: int, j: int) -> np.ndarray:
+        """Allocate (zeroed) block (i, j) if absent; return it.
+
+        Mirrors Figure 3's ``if (C[i][j] == NULL) C[i][j] = alloc_block()``.
+        """
+
+        if self._blocks[i][j] is None:
+            self._blocks[i][j] = np.zeros((self.m, self.m), self.dtype)
+        return self._blocks[i][j]
+
+    # ------------------------------------------------------------------
+    # inspection / conversion
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Edge length of the represented flat matrix."""
+
+        return self.n * self.m
+
+    def present_blocks(self) -> Iterator[tuple[int, int, np.ndarray]]:
+        for i in range(self.n):
+            for j in range(self.n):
+                block = self._blocks[i][j]
+                if block is not None:
+                    yield i, j, block
+
+    def block_count(self) -> int:
+        return sum(1 for _ in self.present_blocks())
+
+    def to_dense(self, fill: float = 0.0) -> np.ndarray:
+        out = np.full((self.size, self.size), fill, dtype=self.dtype)
+        for i, j, block in self.present_blocks():
+            out[i * self.m : (i + 1) * self.m, j * self.m : (j + 1) * self.m] = block
+        return out
+
+    def lower_to_dense(self) -> np.ndarray:
+        """Dense matrix from the lower triangle only (Cholesky output)."""
+
+        out = np.zeros((self.size, self.size), dtype=self.dtype)
+        for i in range(self.n):
+            for j in range(i + 1):
+                block = self._blocks[i][j]
+                if block is not None:
+                    piece = np.tril(block) if i == j else block
+                    out[
+                        i * self.m : (i + 1) * self.m,
+                        j * self.m : (j + 1) * self.m,
+                    ] = piece
+        return out
+
+    def copy(self) -> "HyperMatrix":
+        dup = HyperMatrix(self.n, self.m, self.dtype)
+        for i, j, block in self.present_blocks():
+            dup._blocks[i][j] = np.array(block, copy=True)
+        return dup
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<HyperMatrix {self.n}x{self.n} blocks of {self.m}x{self.m} "
+            f"{self.dtype}, {self.block_count()} present>"
+        )

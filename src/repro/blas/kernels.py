@@ -1,0 +1,154 @@
+"""Tile kernels: the numerical payload of every task in the paper.
+
+These are plain functions over numpy arrays — no runtime involvement —
+mirroring how the paper's tasks "have been implemented using highly
+tuned BLAS libraries".  numpy dispatches to the platform BLAS/LAPACK,
+which is this reproduction's Goto/MKL stand-in.
+
+Conventions (matching the paper's Cholesky in Figure 4):
+
+* factorisations are lower-triangular, in place;
+* ``gemm_nt(a, b, c)`` computes the trailing update ``c -= a @ b.T``
+  used by blocked Cholesky;
+* ``gemm(a, b, c)`` computes the accumulation ``c += a @ b`` used by
+  the matrix-multiplication codes (Figures 1 and 3).
+
+Every kernel also reports its flop count through :func:`flops_of`, used
+by the machine simulator's cost model and by benchmark Gflops figures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg as sla
+
+__all__ = [
+    "gemm",
+    "gemm_nt",
+    "syrk",
+    "trsm",
+    "potrf",
+    "geadd",
+    "gesub",
+    "gecopy",
+    "flops_of",
+    "KernelError",
+]
+
+
+class KernelError(ValueError):
+    """Raised on shape/semantic errors in a tile kernel."""
+
+
+def _check_square(name: str, *mats: np.ndarray) -> int:
+    size = None
+    for m in mats:
+        if m.ndim != 2 or m.shape[0] != m.shape[1]:
+            raise KernelError(f"{name}: tiles must be square, got {m.shape}")
+        if size is None:
+            size = m.shape[0]
+        elif m.shape[0] != size:
+            raise KernelError(f"{name}: tile sizes differ ({size} vs {m.shape[0]})")
+    return size or 0
+
+
+def gemm(a: np.ndarray, b: np.ndarray, c: np.ndarray) -> None:
+    """``c += a @ b`` (the matmul task of Figures 1 and 3)."""
+
+    if a.shape[1] != b.shape[0] or c.shape != (a.shape[0], b.shape[1]):
+        raise KernelError(
+            f"gemm: incompatible shapes {a.shape} @ {b.shape} -> {c.shape}"
+        )
+    c += a @ b
+
+
+def gemm_nt(a: np.ndarray, b: np.ndarray, c: np.ndarray) -> None:
+    """``c -= a @ b.T`` (the Cholesky trailing update of Figure 4)."""
+
+    if a.shape[1] != b.shape[1] or c.shape != (a.shape[0], b.shape[0]):
+        raise KernelError(
+            f"gemm_nt: incompatible shapes {a.shape} @ {b.shape}.T -> {c.shape}"
+        )
+    c -= a @ b.T
+
+
+def syrk(a: np.ndarray, b: np.ndarray) -> None:
+    """``b -= a @ a.T`` (symmetric rank-k update on the diagonal tile)."""
+
+    if b.shape != (a.shape[0], a.shape[0]):
+        raise KernelError(f"syrk: incompatible shapes {a.shape} -> {b.shape}")
+    b -= a @ a.T
+
+
+def trsm(a: np.ndarray, b: np.ndarray) -> None:
+    """Solve ``x @ a.T = b`` in place: ``b <- b @ a^-T``.
+
+    *a* is the lower-triangular diagonal tile produced by :func:`potrf`;
+    *b* is a sub-diagonal tile of the panel (Figure 4's ``strsm_t``).
+    """
+
+    _check_square("trsm", a)
+    if b.shape[1] != a.shape[0]:
+        raise KernelError(f"trsm: incompatible shapes {a.shape} vs {b.shape}")
+    b[...] = sla.solve_triangular(a, b.T, lower=True, check_finite=False).T
+
+
+def potrf(a: np.ndarray) -> None:
+    """In-place lower Cholesky factorisation of a diagonal tile."""
+
+    _check_square("potrf", a)
+    a[...] = sla.cholesky(a, lower=True, check_finite=False)
+
+
+def geadd(a: np.ndarray, b: np.ndarray, c: np.ndarray) -> None:
+    """``c = a + b`` (Strassen's tile addition)."""
+
+    if a.shape != b.shape or c.shape != a.shape:
+        raise KernelError(f"geadd: shape mismatch {a.shape}/{b.shape}/{c.shape}")
+    np.add(a, b, out=c)
+
+
+def gesub(a: np.ndarray, b: np.ndarray, c: np.ndarray) -> None:
+    """``c = a - b`` (Strassen's tile subtraction)."""
+
+    if a.shape != b.shape or c.shape != a.shape:
+        raise KernelError(f"gesub: shape mismatch {a.shape}/{b.shape}/{c.shape}")
+    np.subtract(a, b, out=c)
+
+
+def gecopy(src: np.ndarray, dst: np.ndarray) -> None:
+    """``dst = src`` (block copies; Figure 10's memcpy loops)."""
+
+    if src.shape != dst.shape:
+        raise KernelError(f"gecopy: shape mismatch {src.shape} vs {dst.shape}")
+    dst[...] = src
+
+
+# ---------------------------------------------------------------------------
+# Flop accounting (used for Gflops figures and the simulator cost model)
+# ---------------------------------------------------------------------------
+
+def flops_of(kernel: str, m: int, n: int | None = None, k: int | None = None) -> int:
+    """Floating-point operations of one tile kernel invocation.
+
+    *m* is the tile edge for square tiles; gemm variants accept the full
+    (m, n, k) triple.  Counts use the standard dense-linear-algebra
+    conventions (multiply+add = 2 flops).
+    """
+
+    n = m if n is None else n
+    k = m if k is None else k
+    table = {
+        "gemm": 2 * m * n * k,
+        "gemm_nt": 2 * m * n * k,
+        "syrk": m * m * k + m * k,  # ~ m^2 k (half of gemm on the full tile)
+        "trsm": m * n * n,
+        "potrf": m * m * m // 3 + m * m // 2,
+        "geadd": m * n,
+        "gesub": m * n,
+        "gecopy": 0,
+    }
+    try:
+        return table[kernel]
+    except KeyError:
+        raise KernelError(f"unknown kernel {kernel!r}") from None

@@ -1,0 +1,111 @@
+"""Naive reference implementations used to verify the tile kernels.
+
+Pure-Python triple loops (on tiny tiles) so the vectorised kernels in
+:mod:`repro.blas.kernels` are checked against an independent oracle —
+the guides' "make it work reliably" step before any optimisation.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "ref_gemm",
+    "ref_gemm_nt",
+    "ref_syrk",
+    "ref_trsm",
+    "ref_potrf",
+    "ref_cholesky",
+    "ref_lu_partial_pivot",
+]
+
+
+def ref_gemm(a: np.ndarray, b: np.ndarray, c: np.ndarray) -> np.ndarray:
+    """Return ``c + a @ b`` computed with explicit loops."""
+
+    m, k = a.shape
+    k2, n = b.shape
+    assert k == k2
+    out = np.array(c, dtype=np.float64, copy=True)
+    for i in range(m):
+        for j in range(n):
+            acc = 0.0
+            for p in range(k):
+                acc += float(a[i, p]) * float(b[p, j])
+            out[i, j] += acc
+    return out
+
+
+def ref_gemm_nt(a: np.ndarray, b: np.ndarray, c: np.ndarray) -> np.ndarray:
+    """Return ``c - a @ b.T`` computed with explicit loops."""
+
+    return ref_gemm(-a, np.array(b.T), c)
+
+
+def ref_syrk(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Return ``b - a @ a.T``."""
+
+    return ref_gemm(-a, np.array(a.T), b)
+
+
+def ref_trsm(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Return x solving ``x @ a.T = b`` with forward substitution."""
+
+    m = a.shape[0]
+    rows, _ = b.shape
+    x = np.zeros_like(b, dtype=np.float64)
+    for r in range(rows):
+        for j in range(m):
+            acc = float(b[r, j])
+            for p in range(j):
+                acc -= float(a[j, p]) * float(x[r, p])
+            x[r, j] = acc / float(a[j, j])
+    return x
+
+
+def ref_potrf(a: np.ndarray) -> np.ndarray:
+    """Return the lower Cholesky factor via the textbook algorithm."""
+
+    m = a.shape[0]
+    L = np.zeros_like(a, dtype=np.float64)
+    for i in range(m):
+        for j in range(i + 1):
+            acc = float(a[i, j])
+            for p in range(j):
+                acc -= float(L[i, p]) * float(L[j, p])
+            if i == j:
+                if acc <= 0.0:
+                    raise ValueError("matrix not positive definite")
+                L[i, j] = math.sqrt(acc)
+            else:
+                L[i, j] = acc / float(L[j, j])
+    return L
+
+
+def ref_cholesky(a: np.ndarray) -> np.ndarray:
+    """Full-matrix lower Cholesky oracle (tril of the factor)."""
+
+    return ref_potrf(np.array(a, dtype=np.float64))
+
+
+def ref_lu_partial_pivot(a: np.ndarray) -> tuple[np.ndarray, np.ndarray, list[int]]:
+    """Textbook LU with partial (row) pivoting: returns (L, U, perm)."""
+
+    n = a.shape[0]
+    u = np.array(a, dtype=np.float64, copy=True)
+    l = np.eye(n)
+    perm = list(range(n))
+    for k in range(n):
+        pivot = max(range(k, n), key=lambda r: abs(float(u[r, k])))
+        if pivot != k:
+            u[[k, pivot], k:] = u[[pivot, k], k:]
+            l[[k, pivot], :k] = l[[pivot, k], :k]
+            perm[k], perm[pivot] = perm[pivot], perm[k]
+        for r in range(k + 1, n):
+            factor = float(u[r, k]) / float(u[k, k])
+            l[r, k] = factor
+            u[r, k:] -= factor * u[k, k:]
+            u[r, k] = 0.0
+    return l, u, perm

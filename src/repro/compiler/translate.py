@@ -1,0 +1,212 @@
+"""The translator: ``#pragma css`` comments -> runtime calls.
+
+Recognised pragmas (each must be the only content of its line, aside
+from indentation; a trailing ``\\`` continues the pragma on the next
+comment line, as in the paper's Figure 7):
+
+* ``#pragma css task [clause...]`` — must be followed by a ``def`` at
+  the same indentation (decorator lines may intervene).  Translated to
+  an ``@css_task("clauses")`` decorator.
+* ``#pragma css barrier`` — translated to a runtime barrier call.
+* ``#pragma css wait on(expr)`` — translated to an acquire of *expr*
+  (fine-grained wait; the runtime analogue of CellSs' wait-on).
+* ``#pragma css start`` / ``#pragma css finish`` — no-ops retained for
+  source compatibility with SMPSs programs (the Python runtime scopes
+  execution with context managers instead).
+
+The pragma clause list itself is validated with the real parser at
+translation time, so malformed pragmas fail with line numbers *before*
+the program runs — like a compiler should.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+import types
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.pragma import PragmaError, parse_pragma
+
+__all__ = [
+    "CompileError",
+    "translate_source",
+    "compile_annotated",
+    "load_annotated_module",
+]
+
+#: Injected prelude — deliberately a SINGLE line so user code shifts by
+#: exactly one line in tracebacks.
+_PRELUDE = (
+    "from repro.core.api import css_task as __css_task__, "
+    "barrier as __css_barrier__, current_runtime as __css_runtime__; "
+    "__css_wait_on__ = lambda __obj: ("
+    "__css_runtime__().acquire(__obj) "
+    "if __css_runtime__() is not None else __obj)\n"
+)
+
+_PRAGMA_RE = re.compile(
+    r"^(?P<indent>\s*)#\s*pragma\s+css\s+(?P<kind>task|barrier|wait|start|finish)"
+    r"\b(?P<rest>.*)$"
+)
+_COMMENT_CONT_RE = re.compile(r"^\s*#(?P<body>.*)$")
+_DEF_RE = re.compile(r"^(?P<indent>\s*)(?:async\s+)?def\s+\w+")
+_DECORATOR_RE = re.compile(r"^\s*@")
+_WAIT_ON_RE = re.compile(r"^\s*on\s*\((?P<expr>.+)\)\s*$")
+
+
+class CompileError(SyntaxError):
+    """A malformed ``#pragma css`` annotation."""
+
+    def __init__(self, message: str, line: int, filename: str = "<annotated>"):
+        super().__init__(f"{filename}:{line}: {message}")
+        self.lineno = line
+        self.filename = filename
+
+
+@dataclass
+class _Pragma:
+    kind: str
+    payload: str
+    indent: str
+    first_line: int
+    last_line: int
+
+
+def _collect_pragma(lines: list[str], idx: int, filename: str) -> Optional[_Pragma]:
+    """Parse the pragma starting at *idx*, following continuations."""
+
+    match = _PRAGMA_RE.match(lines[idx])
+    if match is None:
+        return None
+    kind = match.group("kind")
+    payload = match.group("rest").strip()
+    last = idx
+    # The paper writes multi-line pragmas with a trailing backslash;
+    # each continuation is again a comment line.
+    while payload.endswith("\\"):
+        payload = payload[:-1].rstrip()
+        last += 1
+        if last >= len(lines):
+            raise CompileError(
+                "pragma continuation at end of file", idx + 1, filename
+            )
+        cont = _COMMENT_CONT_RE.match(lines[last])
+        if cont is None:
+            raise CompileError(
+                "pragma continuation must be a comment line", last + 1, filename
+            )
+        payload += " " + cont.group("body").strip()
+    return _Pragma(
+        kind=kind,
+        payload=payload,
+        indent=match.group("indent"),
+        first_line=idx + 1,  # 1-based
+        last_line=last + 1,  # 1-based, inclusive
+    )
+
+
+def _find_def(lines: list[str], start: int, indent: str, filename: str, pragma_line: int) -> None:
+    """Validate that a task pragma is followed by a matching ``def``."""
+
+    i = start
+    while i < len(lines):
+        line = lines[i]
+        if not line.strip() or line.strip().startswith("#"):
+            i += 1
+            continue
+        if _DECORATOR_RE.match(line):
+            i += 1
+            continue
+        match = _DEF_RE.match(line)
+        if match and match.group("indent") == indent:
+            return
+        break
+    raise CompileError(
+        "'#pragma css task' must be followed by a function definition "
+        "at the same indentation",
+        pragma_line,
+        filename,
+    )
+
+
+def translate_source(source: str, filename: str = "<annotated>") -> str:
+    """Translate annotated Python source to standard Python source.
+
+    Line numbers of user code are preserved exactly: every pragma line
+    is *replaced* (by the decorator / call it denotes, or by a comment
+    marker), never inserted or deleted, and the injected prelude lives
+    on the (single) new first line.
+    """
+
+    lines = source.split("\n")
+    out: list[str] = []
+    i = 0
+    while i < len(lines):
+        pragma = _collect_pragma(lines, i, filename)
+        if pragma is None:
+            out.append(lines[i])
+            i += 1
+            continue
+
+        blanks = pragma.last_line - pragma.first_line
+        if pragma.kind == "task":
+            try:
+                parse_pragma(pragma.payload)
+            except PragmaError as exc:
+                raise CompileError(
+                    f"invalid task pragma: {exc}", pragma.first_line, filename
+                ) from exc
+            _find_def(lines, pragma.last_line, pragma.indent, filename,
+                      pragma.first_line)
+            escaped = pragma.payload.replace("\\", "\\\\").replace('"', '\\"')
+            out.append(f'{pragma.indent}@__css_task__("{escaped}")')
+        elif pragma.kind == "barrier":
+            if pragma.payload:
+                raise CompileError(
+                    "'#pragma css barrier' takes no arguments",
+                    pragma.first_line, filename,
+                )
+            out.append(f"{pragma.indent}__css_barrier__()")
+        elif pragma.kind == "wait":
+            match = _WAIT_ON_RE.match(pragma.payload)
+            if match is None:
+                raise CompileError(
+                    "expected '#pragma css wait on(expression)'",
+                    pragma.first_line, filename,
+                )
+            out.append(f"{pragma.indent}__css_wait_on__({match.group('expr')})")
+        else:  # start / finish: source-compatibility no-ops
+            out.append(f"{pragma.indent}# css {pragma.kind} (no-op in Python)")
+
+        # Keep continuation lines as blanks to preserve numbering.
+        out.extend([""] * blanks)
+        i = pragma.last_line
+
+    body = "\n".join(out)
+    return _PRELUDE + body
+
+
+def compile_annotated(
+    source: str, module_name: str = "css_program", filename: str = "<annotated>"
+) -> types.ModuleType:
+    """Translate and execute annotated source; returns the module."""
+
+    translated = translate_source(source, filename)
+    module = types.ModuleType(module_name)
+    module.__file__ = filename
+    code = compile(translated, filename, "exec")
+    exec(code, module.__dict__)
+    return module
+
+
+def load_annotated_module(path: str, module_name: Optional[str] = None) -> types.ModuleType:
+    """Load a ``.py`` file containing ``#pragma css`` annotations."""
+
+    with open(path, encoding="utf-8") as handle:
+        source = handle.read()
+    name = module_name or path.rsplit("/", 1)[-1].removesuffix(".py")
+    module = compile_annotated(source, name, filename=path)
+    sys.modules.setdefault(name, module)
+    return module

@@ -1,0 +1,148 @@
+"""User-facing programming model: the ``@css_task`` decorator.
+
+The Python binding of the paper's annotation::
+
+    #pragma css task input(a, b) inout(c)
+    void sgemm_t(float a[M][M], float b[M][M], float c[M][M]);
+
+becomes::
+
+    @css_task("input(a, b) inout(c)")
+    def sgemm_t(a, b, c):
+        c += a @ b
+
+A decorated function behaves exactly like the paper's dual-compilation
+model: with no active runtime it *is* the plain sequential function
+("the same C sequential code can be compiled with a regular compiler
+and run sequentially"); inside an :class:`~repro.core.runtime.SmpssRuntime`
+(or recording runtime) context, calls become asynchronous task
+submissions with run-time dependency analysis.
+"""
+
+from __future__ import annotations
+
+import functools
+import inspect
+import threading
+from typing import Callable, Optional
+
+from .pragma import parse_pragma
+from .task import TaskDefinition
+
+__all__ = ["css_task", "current_runtime", "push_runtime", "pop_runtime", "barrier"]
+
+
+# The active-runtime stack.  The programming model is single-main-thread
+# (the paper's main program), so a plain module-level stack suffices;
+# the guard catches accidental multi-thread submission.
+_stack: list = []
+_stack_owner: Optional[int] = None
+_stack_lock = threading.Lock()
+
+
+def current_runtime():
+    """The innermost active runtime, or ``None`` (sequential mode)."""
+
+    return _stack[-1] if _stack else None
+
+
+def push_runtime(runtime) -> None:
+    global _stack_owner
+    with _stack_lock:
+        owner = threading.get_ident()
+        if _stack and _stack_owner != owner:
+            raise RuntimeError(
+                "a runtime is already active on another thread; the SMPSs "
+                "main program is single-threaded"
+            )
+        _stack_owner = owner
+        _stack.append(runtime)
+
+
+def pop_runtime(runtime) -> None:
+    global _stack_owner
+    with _stack_lock:
+        if not _stack or _stack[-1] is not runtime:
+            raise RuntimeError("runtime stack corruption: mismatched pop")
+        _stack.pop()
+        if not _stack:
+            _stack_owner = None
+
+
+def barrier() -> None:
+    """``#pragma css barrier``: wait for all tasks (no-op sequentially)."""
+
+    runtime = current_runtime()
+    if runtime is not None:
+        runtime.barrier()
+
+
+def css_task(pragma: str = "", constants: Optional[dict] = None) -> Callable:
+    """Declare a function as an SMPSs task.
+
+    *pragma* is the clause list of the ``#pragma css task`` construct
+    (see :mod:`repro.core.pragma`).  *constants* supplies values for
+    names used in dimension/region expressions that are not parameters
+    (the paper's compile-time constants such as ``N`` and ``M``).
+
+    The returned wrapper exposes:
+
+    * ``.definition`` — the :class:`TaskDefinition`;
+    * ``.pragma`` — the parsed pragma;
+    * ``.sequential(*args)`` — always call the plain function.
+    """
+
+    parsed = parse_pragma(pragma)
+
+    def decorate(func: Callable) -> Callable:
+        signature = inspect.signature(func)
+        _validate_signature(func, signature, parsed)
+        definition = TaskDefinition(
+            func=func, params=parsed.params, high_priority=parsed.high_priority
+        )
+
+        @functools.wraps(func)
+        def wrapper(*args, **kwargs):
+            runtime = current_runtime()
+            if runtime is None:
+                return func(*args, **kwargs)
+            # "SMPSs treats task calls inside tasks as normal function
+            # calls" (sections VII.B/D): a call made from within an
+            # executing task body runs inline, it does not nest.
+            in_body = getattr(runtime, "in_task_body", None)
+            if in_body is not None and in_body():
+                return func(*args, **kwargs)
+            return runtime.submit(definition, args, kwargs)
+
+        wrapper.definition = definition  # type: ignore[attr-defined]
+        wrapper.pragma = parsed  # type: ignore[attr-defined]
+        wrapper.sequential = func  # type: ignore[attr-defined]
+        wrapper.constants = constants or {}  # type: ignore[attr-defined]
+        if constants:
+            # Constants ride on the definition so every runtime sees them.
+            definition.constants = dict(constants)  # type: ignore[attr-defined]
+        return wrapper
+
+    return decorate
+
+
+def _validate_signature(func, signature: inspect.Signature, parsed) -> None:
+    bad_kinds = {
+        inspect.Parameter.VAR_POSITIONAL: "*args",
+        inspect.Parameter.VAR_KEYWORD: "**kwargs",
+        inspect.Parameter.KEYWORD_ONLY: "keyword-only parameters",
+    }
+    for param in signature.parameters.values():
+        if param.kind in bad_kinds:
+            raise TypeError(
+                f"task {func.__name__!r}: {bad_kinds[param.kind]} are not "
+                f"supported in task signatures (tasks mirror C functions "
+                f"with plain positional parameters)"
+            )
+    names = set(signature.parameters)
+    for spec in parsed.params:
+        if spec.name not in names:
+            raise TypeError(
+                f"task {func.__name__!r}: pragma declares parameter "
+                f"{spec.name!r} which is not in the function signature"
+            )

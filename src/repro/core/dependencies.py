@@ -1,0 +1,442 @@
+"""Run-time dependency analysis (sections II and V).
+
+"The runtime takes the memory address, size and directionality of each
+parameter at each task invocation and uses them to analyze the
+dependencies between them."
+
+The engine keeps, per tracked base object, a chain of
+:class:`~repro.core.renaming.Version` objects.  Every task access is
+matched against the chain:
+
+* a read depends on the producer of the current version (RAW — the only
+  dependency kind that survives renaming);
+* a write would conflict with pending readers (WAR) and the pending
+  producer (WAW); with renaming enabled these hazards are removed by
+  rolling the chain to a new version with *fresh* (``output``) or
+  *cloned* (``inout``) storage, with no edge added for the hazard;
+* with renaming disabled — by configuration, for non-renamable types
+  such as representants, or for array-region accesses — the hazards
+  become explicit ANTI/OUTPUT edges instead, which is slower but equally
+  correct.
+
+Array regions (section V.A) are handled with per-region chains and
+hyper-rectangle overlap tests; see :mod:`repro.core.regions`.  A write
+to a region rolls every overlapping chain so later readers of any
+overlapping region order after the write (the write itself carries an
+OUTPUT edge to each displaced producer, so transitivity preserves the
+full happens-before relation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from .graph import EdgeKind, TaskGraph
+from .regions import Region
+from .renaming import (
+    AdapterRegistry,
+    StorageKind,
+    Version,
+    default_registry,
+)
+from .task import Direction, TaskInstance, TaskState
+
+__all__ = ["TrackerConfig", "DependencyTracker", "DependencyError", "TrackedDatum"]
+
+
+class DependencyError(RuntimeError):
+    """Raised on accesses the engine cannot give sequential semantics to."""
+
+
+@dataclass
+class TrackerConfig:
+    """Tunables of the dependency engine.
+
+    The defaults reproduce the paper's runtime; the switches exist for
+    the ablation benchmarks (renaming off = SuperMatrix-style analysis,
+    section VII.C notes "SuperMatrix does not support renaming").
+    """
+
+    #: Master renaming switch (section II).
+    enable_renaming: bool = True
+    #: Copy-based renaming of ``inout`` parameters with pending readers
+    #: (what makes the N Queens partial-solution array duplication
+    #: automatic, section VI.E).
+    rename_inout: bool = True
+    #: Whether untracked scalar values (ints, floats, strings, tuples)
+    #: are silently treated as by-value; if False they raise.
+    allow_untracked_scalars: bool = True
+
+
+#: Immutable types that are always by-value, never tracked.
+_SCALAR_TYPES = (int, float, complex, bool, str, bytes, type(None), tuple, frozenset)
+
+
+class _Chain:
+    """The version chain of one (base, region) access key."""
+
+    __slots__ = ("key", "current", "version_count")
+
+    def __init__(self, key: Optional[Region], initial: Version):
+        self.key = key
+        self.current = initial
+        self.version_count = 1
+
+    def roll(self, version: Version) -> None:
+        self.current = version
+        self.version_count += 1
+
+
+class TrackedDatum:
+    """Per-base-object tracking state."""
+
+    __slots__ = (
+        "base", "adapter", "chains", "region_mode", "renamed_buffers", "tracker",
+    )
+
+    def __init__(self, base: Any, adapter, tracker=None) -> None:
+        self.base = base
+        self.adapter = adapter
+        self.tracker = tracker
+        #: access-key -> chain; ``None`` key = whole-object accesses.
+        self.chains: dict[Optional[Region], _Chain] = {}
+        #: Set on the first region access; once on, the datum uses
+        #: edge-based analysis forever (renamed buffers would alias).
+        self.region_mode = False
+        self.renamed_buffers = 0
+
+    def whole_chain(self) -> _Chain:
+        chain = self.chains.get(None)
+        if chain is None:
+            chain = _Chain(None, Version(self, 0, StorageKind.INITIAL))
+            self.chains[None] = chain
+        return chain
+
+    def chain_for(self, key: Optional[Region]) -> _Chain:
+        chain = self.chains.get(key)
+        if chain is None:
+            chain = _Chain(key, Version(self, 0, StorageKind.INITIAL))
+            self.chains[key] = chain
+        return chain
+
+    def on_rename_materialised(self, version: Version) -> None:
+        self.renamed_buffers += 1
+        if self.tracker is not None:
+            self.tracker.note_materialised(version)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<TrackedDatum {type(self.base).__name__}@{id(self.base):#x}>"
+
+
+def _finished(task: Optional[TaskInstance]) -> bool:
+    return task is None or task.state is TaskState.FINISHED
+
+
+class DependencyTracker:
+    """Builds the task graph from the stream of task invocations.
+
+    Driven from a single submitting thread (the main thread, as in the
+    paper); completion state of predecessor tasks is read without locks
+    because the owning runtime serialises graph mutation.
+    """
+
+    def __init__(
+        self,
+        graph: TaskGraph,
+        registry: Optional[AdapterRegistry] = None,
+        config: Optional[TrackerConfig] = None,
+        tracer=None,
+    ) -> None:
+        self.graph = graph
+        self.registry = registry or default_registry()
+        self.config = config or TrackerConfig()
+        self.tracer = tracer
+        self._data: dict[int, TrackedDatum] = {}
+        # Renamed-buffer memory accounting: materialisation happens on
+        # worker threads, so the counter takes its own tiny lock.
+        import threading
+
+        self._bytes_lock = threading.Lock()
+        self._renamed_bytes = 0
+
+    # ------------------------------------------------------------------
+    # datum lookup
+    # ------------------------------------------------------------------
+    def datum_for(self, obj: Any) -> TrackedDatum:
+        datum = self._data.get(id(obj))
+        if datum is None:
+            datum = TrackedDatum(obj, self.registry.adapter_for(obj), tracker=self)
+            self._data[id(obj)] = datum
+        return datum
+
+    def is_tracked(self, obj: Any) -> bool:
+        return id(obj) in self._data
+
+    @property
+    def tracked_count(self) -> int:
+        return len(self._data)
+
+    @property
+    def total_renamed_buffers(self) -> int:
+        return sum(d.renamed_buffers for d in self._data.values())
+
+    # ------------------------------------------------------------------
+    # renamed-buffer memory management (section III's "memory limit"
+    # blocking condition needs live accounting + garbage collection)
+    # ------------------------------------------------------------------
+    def note_materialised(self, version: Version) -> None:
+        size = version.datum.adapter.size_of(version.datum.base)
+        with self._bytes_lock:
+            self._renamed_bytes += size
+
+    @property
+    def renamed_bytes(self) -> int:
+        """Bytes currently held by live renamed buffers."""
+
+        with self._bytes_lock:
+            return self._renamed_bytes
+
+    def release_after(self, task: TaskInstance) -> int:
+        """Free renamed buffers made dead by *task* finishing.
+
+        A version's buffer is dead once its producer has finished, no
+        reader is pending, and a newer version has superseded it in the
+        chain.  Called by the runtime after each task completion;
+        returns the bytes released.
+        """
+
+        freed = 0
+        for _name, version in task.reads:
+            freed += self._maybe_release(version)
+            if version.prev is not None:
+                freed += self._maybe_release(version.prev)
+        for _name, version in task.writes:
+            if version.prev is not None:
+                freed += self._maybe_release(version.prev)
+        if freed:
+            with self._bytes_lock:
+                self._renamed_bytes -= freed
+        return freed
+
+    def _maybe_release(self, version: Version) -> int:
+        if version.kind not in (StorageKind.FRESH, StorageKind.CLONE):
+            return 0
+        if not version.is_materialised or version.released:
+            return 0
+        if not _finished(version.producer):
+            return 0
+        if version.pending_readers():
+            return 0
+        datum = version.datum
+        for chain in datum.chains.values():
+            # The chain head (or anything aliasing its storage through
+            # SAME links, i.e. sharing the storage root) must stay alive.
+            if chain.current.root is version:
+                return 0
+        return version.drop_storage()
+
+    # ------------------------------------------------------------------
+    # analysis entry point
+    # ------------------------------------------------------------------
+    def analyze(self, task: TaskInstance) -> None:
+        """Insert *task* into the graph with all its dependency edges."""
+
+        self.graph.add_task(task)
+        for access in task.accesses:
+            direction = access.direction
+            if direction is Direction.OPAQUE:
+                continue  # void *: passes through unaltered (section II)
+            value = access.value
+            if isinstance(value, _SCALAR_TYPES):
+                if not self.config.allow_untracked_scalars:
+                    raise DependencyError(
+                        f"task {task.name!r}: parameter {access.name!r} is a "
+                        f"by-value scalar but untracked scalars are disabled"
+                    )
+                continue
+            datum = self.datum_for(value)
+            if access.region is not None:
+                self._analyze_region(task, datum, access.region, direction, access)
+            elif datum.region_mode:
+                region = Region.full(self._rank_of(datum))
+                self._analyze_region(task, datum, region, direction, access)
+            else:
+                self._analyze_whole(task, datum, direction, access)
+
+    # ------------------------------------------------------------------
+    # whole-object path (renaming-capable)
+    # ------------------------------------------------------------------
+    def _analyze_whole(self, task, datum: TrackedDatum, direction, access) -> None:
+        chain = datum.chains.get(None)
+        if chain is None:
+            chain = datum.whole_chain()
+        cur = chain.current
+
+        if direction is Direction.INPUT:
+            producer = cur.producer
+            if producer is not None and producer.state is not TaskState.FINISHED:
+                self.graph.add_dependency(producer, task, EdgeKind.TRUE)
+            cur.readers.append(task)
+            task.reads.append((access.name, cur))
+            return
+
+        renaming = self.config.enable_renaming and datum.adapter.renamable
+
+        if direction is Direction.OUTPUT:
+            pending_readers = (
+                [t for t in cur.pending_readers() if t is not task]
+                if cur.readers
+                else []
+            )
+            hazard = (not _finished(cur.producer)) or pending_readers
+            if hazard and renaming:
+                newv = Version(datum, chain.version_count, StorageKind.FRESH)
+                self.graph.note_rename()
+                if self.tracer:
+                    self.tracer.rename(task, datum, StorageKind.FRESH)
+            else:
+                if hazard:  # renaming unavailable: explicit edges
+                    self._hazard_edges(cur, pending_readers, task)
+                newv = Version(datum, chain.version_count, StorageKind.SAME, prev=cur)
+            newv.producer = task
+            chain.roll(newv)
+            task.writes.append((access.name, newv))
+            return
+
+        if direction is Direction.INOUT:
+            producer = cur.producer
+            if producer is not None and producer.state is not TaskState.FINISHED:
+                # reads the previous value: always a RAW dependency
+                self.graph.add_dependency(producer, task, EdgeKind.TRUE)
+            pending_readers = (
+                [t for t in cur.pending_readers() if t is not task]
+                if cur.readers
+                else []
+            )
+            if pending_readers and renaming and self.config.rename_inout:
+                newv = Version(datum, chain.version_count, StorageKind.CLONE, prev=cur)
+                self.graph.note_rename()
+                if self.tracer:
+                    self.tracer.rename(task, datum, StorageKind.CLONE)
+            else:
+                for reader in pending_readers:
+                    self.graph.add_dependency(reader, task, EdgeKind.ANTI)
+                newv = Version(datum, chain.version_count, StorageKind.SAME, prev=cur)
+            newv.producer = task
+            chain.roll(newv)
+            # The task reads the previous value (and a CLONE resolves
+            # from it at execution time): register as a reader so the
+            # memory manager keeps the buffer alive until then.
+            cur.readers.append(task)
+            task.reads.append((access.name, cur))
+            task.writes.append((access.name, newv))
+            return
+
+        raise DependencyError(f"unexpected direction {direction}")  # pragma: no cover
+
+    def _true_dep(self, version: Version, task: TaskInstance) -> None:
+        if not _finished(version.producer):
+            self.graph.add_dependency(version.producer, task, EdgeKind.TRUE)
+
+    def _hazard_edges(self, cur: Version, pending_readers, task) -> None:
+        if not _finished(cur.producer):
+            self.graph.add_dependency(cur.producer, task, EdgeKind.OUTPUT)
+        for reader in pending_readers:
+            self.graph.add_dependency(reader, task, EdgeKind.ANTI)
+
+    # ------------------------------------------------------------------
+    # region path (edge-based, no renaming)
+    # ------------------------------------------------------------------
+    def _analyze_region(
+        self, task, datum: TrackedDatum, region: Region, direction, access
+    ) -> None:
+        if not datum.region_mode:
+            # Switching an object into region mode is only sound while
+            # its live data still sits in the user's own buffer.
+            whole = datum.chains.get(None)
+            if whole is not None and not whole.current.storage_is_base():
+                raise DependencyError(
+                    f"task {task.name!r}: array-region access to an object "
+                    f"whose current version lives in a renamed buffer; "
+                    f"insert a barrier before mixing whole-object renaming "
+                    f"with region accesses"
+                )
+            datum.region_mode = True
+
+        overlapping = [
+            chain
+            for key, chain in datum.chains.items()
+            if key is None or key.overlaps(region)
+        ]
+
+        if direction.reads:
+            for chain in overlapping:
+                self._true_dep(chain.current, task)
+            target = datum.chain_for(region)
+            target.current.readers.append(task)
+            if target not in overlapping:  # freshly created chain
+                pass
+            task.reads.append((access.name, target.current))
+
+        if direction.writes:
+            for chain in overlapping:
+                cur = chain.current
+                if not _finished(cur.producer):
+                    kind = EdgeKind.TRUE if direction.reads else EdgeKind.OUTPUT
+                    self.graph.add_dependency(cur.producer, task, kind)
+                for reader in cur.pending_readers():
+                    if reader is not task:
+                        self.graph.add_dependency(reader, task, EdgeKind.ANTI)
+            target = datum.chain_for(region)
+            newv = Version(
+                datum, target.version_count, StorageKind.SAME, prev=target.current
+            )
+            newv.producer = task
+            target.roll(newv)
+            task.writes.append((access.name, newv))
+            # Conservatively roll every other overlapping chain so its
+            # future readers order after this write (transitively after
+            # the displaced producer via the OUTPUT edge above).
+            for chain in overlapping:
+                if chain is target:
+                    continue
+                rolled = Version(
+                    datum, chain.version_count, StorageKind.SAME, prev=chain.current
+                )
+                rolled.producer = task
+                chain.roll(rolled)
+
+    def _rank_of(self, datum: TrackedDatum) -> int:
+        shape = datum.adapter.shape_of(datum.base)
+        return len(shape) if shape else 1
+
+    # ------------------------------------------------------------------
+    # barriers
+    # ------------------------------------------------------------------
+    def write_back_all(self) -> int:
+        """Copy final renamed versions back into the user objects.
+
+        Called once every in-flight task has finished (a barrier).
+        Returns the number of objects written back.
+        """
+
+        count = 0
+        for datum in self._data.values():
+            chain = datum.chains.get(None)
+            if chain is None:
+                continue
+            cur = chain.current
+            if not cur.storage_is_base():
+                datum.adapter.write_back(datum.base, cur.resolve_storage())
+                count += 1
+        return count
+
+    def reset(self) -> None:
+        """Forget all version chains (used after a write-back barrier).
+
+        Frees renamed buffers and the strong references pinning user
+        objects; tracking restarts lazily at the next access.
+        """
+
+        self._data.clear()

@@ -1,0 +1,246 @@
+"""The dynamic task graph (section II).
+
+"Whenever the application calls a task, a node in a task graph is added
+for each task instance and a series of edges indicating their
+dependencies."  Thanks to renaming the graph contains only *true*
+dependencies (read-after-write); anti and output dependencies are
+removed by the renaming engine — except where renaming is disabled
+(region accesses, the ``rename=False`` ablation), in which case the
+corresponding edges are inserted explicitly and the graph remains a
+correct (if more constrained) execution order.
+
+The graph is not thread-safe by itself: the owning runtime serialises
+mutations (the main thread adds nodes, workers retire them under the
+runtime lock).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional
+
+from .task import TaskInstance, TaskState
+
+__all__ = ["TaskGraph", "EdgeKind", "GraphStats"]
+
+
+class EdgeKind:
+    """Why an edge exists; useful for analysis and tracing."""
+
+    TRUE = "true"  # read-after-write (flow)
+    ANTI = "anti"  # write-after-read (only when renaming is off)
+    OUTPUT = "output"  # write-after-write (only when renaming is off)
+
+
+@dataclass
+class GraphStats:
+    """Aggregate information about a (possibly still growing) graph."""
+
+    total_tasks: int = 0
+    total_edges: int = 0
+    edges_by_kind: Counter = field(default_factory=Counter)
+    tasks_by_name: Counter = field(default_factory=Counter)
+    renames: int = 0
+
+
+class TaskGraph:
+    """Holds task instances and their dependency edges.
+
+    ``keep_finished`` retains retired nodes so the full DAG can be
+    exported afterwards (Figure 5); production-sized runs turn it off so
+    memory stays proportional to the in-flight window, as the real
+    SMPSs runtime does with its graph-size blocking condition.
+    """
+
+    def __init__(self, keep_finished: bool = True):
+        self.keep_finished = keep_finished
+        self._tasks: dict[int, TaskInstance] = {}
+        #: (pred_id, succ_id) -> kind; only populated when keep_finished
+        self._edges: dict[tuple[int, int], str] = {}
+        self.stats = GraphStats()
+        self._pending = 0  # tasks not yet FINISHED
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_task(self, task: TaskInstance) -> None:
+        if task.task_id in self._tasks:
+            raise ValueError(f"task id {task.task_id} added twice")
+        self._tasks[task.task_id] = task
+        self._pending += 1
+        self.stats.total_tasks += 1
+        self.stats.tasks_by_name[task.name] += 1
+
+    def add_dependency(
+        self, pred: TaskInstance, succ: TaskInstance, kind: str = EdgeKind.TRUE
+    ) -> bool:
+        """Add an edge *pred* -> *succ*.
+
+        Returns ``True`` if a new edge was created (duplicate accesses
+        to the same datum produce a single edge).  Edges to already
+        finished predecessors are ignored — the dependency is satisfied.
+        """
+
+        if pred is succ:
+            return False
+        if pred.state is TaskState.FINISHED:
+            return False
+        if succ in pred.successors:
+            return False
+        pred.successors.add(succ)
+        succ.predecessors.add(pred)
+        succ.num_pending_deps += 1
+        self.stats.total_edges += 1
+        self.stats.edges_by_kind[kind] += 1
+        if self.keep_finished:
+            self._edges[(pred.task_id, succ.task_id)] = kind
+        return True
+
+    def note_rename(self) -> None:
+        self.stats.renames += 1
+
+    # ------------------------------------------------------------------
+    # execution-side updates
+    # ------------------------------------------------------------------
+    def complete(self, task: TaskInstance) -> list[TaskInstance]:
+        """Retire *task*; return successors that became ready.
+
+        "Whenever a thread has finished running a task, it updates the
+        graph and moves all tasks that have become ready to that thread
+        ready list" (section III) — the move itself is the scheduler's
+        job; we return the newly ready instances.
+        """
+
+        if task.state is TaskState.FINISHED:
+            raise ValueError(f"{task!r} completed twice")
+        task.state = TaskState.FINISHED
+        self._pending -= 1
+        newly_ready: list[TaskInstance] = []
+        keep = self.keep_finished
+        blocked = TaskState.BLOCKED
+        for succ in task.successors:
+            succ.num_pending_deps -= 1
+            if succ.num_pending_deps == 0 and succ.state is blocked:
+                newly_ready.append(succ)
+            if not keep:
+                succ.predecessors.discard(task)
+        if not keep:
+            task.successors.clear()
+            del self._tasks[task.task_id]
+        # Deterministic order: invocation order, like the runtime's
+        # sequential dependency analysis would release them.
+        if len(newly_ready) > 1:
+            newly_ready.sort(key=lambda t: t.task_id)
+        return newly_ready
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def pending_count(self) -> int:
+        """Tasks added but not yet finished (the graph-size condition)."""
+
+        return self._pending
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __iter__(self) -> Iterator[TaskInstance]:
+        return iter(sorted(self._tasks.values(), key=lambda t: t.task_id))
+
+    def get(self, task_id: int) -> Optional[TaskInstance]:
+        return self._tasks.get(task_id)
+
+    def edges(self) -> Iterable[tuple[int, int, str]]:
+        """All recorded edges as ``(pred_id, succ_id, kind)`` triples."""
+
+        for (pred, succ), kind in self._edges.items():
+            yield pred, succ, kind
+
+    def roots(self) -> list[TaskInstance]:
+        return [t for t in self if not t.predecessors]
+
+    def critical_path_length(self) -> int:
+        """Longest chain of tasks (unit weights); requires keep_finished."""
+
+        depth: dict[int, int] = {}
+        for task in self:  # iteration is in id (= topological) order
+            best = 0
+            for pred in task.predecessors:
+                best = max(best, depth.get(pred.task_id, 0))
+            depth[task.task_id] = best + 1
+        return max(depth.values(), default=0)
+
+    def weighted_critical_path(self, weight) -> float:
+        """Longest path with per-task weights ``weight(task) -> float``."""
+
+        finish: dict[int, float] = {}
+        best = 0.0
+        for task in self:
+            start = 0.0
+            for pred in task.predecessors:
+                start = max(start, finish.get(pred.task_id, 0.0))
+            finish[task.task_id] = start + weight(task)
+            best = max(best, finish[task.task_id])
+        return best
+
+    def to_networkx(self):
+        """Export to a :class:`networkx.DiGraph` (Figure 5 style)."""
+
+        import networkx as nx
+
+        g = nx.DiGraph()
+        for task in self:
+            g.add_node(task.task_id, name=task.name, state=task.state.value)
+        for pred, succ, kind in self.edges():
+            g.add_edge(pred, succ, kind=kind)
+        return g
+
+    def to_ascii_levels(self, width: int = 72) -> str:
+        """Terminal rendering of the DAG by dependency depth.
+
+        One row per level (all tasks whose longest incoming path has
+        that length), Figure 5 style: the width of a row is the
+        parallelism available once the level above retires.
+        """
+
+        depth: dict[int, int] = {}
+        for task in self:  # id order = topological
+            best = -1
+            for pred in task.predecessors:
+                best = max(best, depth.get(pred.task_id, -1))
+            depth[task.task_id] = best + 1
+        levels: dict[int, list[TaskInstance]] = {}
+        for task in self:
+            levels.setdefault(depth[task.task_id], []).append(task)
+        lines = []
+        for level in sorted(levels):
+            tasks = levels[level]
+            ids = " ".join(str(t.task_id) for t in tasks)
+            if len(ids) > width - 12:
+                ids = ids[: width - 15] + "..."
+            lines.append(f"L{level:>3} ({len(tasks):>3}): {ids}")
+        return "\n".join(lines)
+
+    def to_dot(self) -> str:
+        """GraphViz dot text with one colour per task type (Figure 5)."""
+
+        palette = [
+            "lightblue", "lightgreen", "salmon", "gold", "plum",
+            "lightgrey", "orange", "cyan",
+        ]
+        colours: dict[str, str] = {}
+        lines = ["digraph tasks {", "  node [style=filled];"]
+        for task in self:
+            colour = colours.setdefault(
+                task.name, palette[len(colours) % len(palette)]
+            )
+            lines.append(
+                f'  t{task.task_id} [label="{task.task_id}", fillcolor={colour}];'
+            )
+        for pred, succ, kind in sorted(self.edges()):
+            style = "" if kind == EdgeKind.TRUE else ' [style=dashed]'
+            lines.append(f"  t{pred} -> t{succ}{style};")
+        lines.append("}")
+        return "\n".join(lines)

@@ -1,0 +1,186 @@
+"""Binding a call site to a task declaration.
+
+Turns ``(TaskDefinition, args, kwargs)`` into the flat list of
+:class:`~repro.core.task.ParamAccess` records the dependency engine
+consumes — evaluating dimension specifiers and array-region bounds
+against the actual argument values, exactly when the paper's runtime
+would ("the runtime takes the memory address, size and directionality
+of each parameter at each task invocation").
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+import numpy as np
+
+from .pragma import PragmaError
+from .regions import FULL_DIM, Region, RegionError
+from .task import InvocationError, ParamAccess, TaskDefinition, TaskInstance
+
+__all__ = ["build_accesses", "instantiate"]
+
+
+def _expression_env(arguments: dict, constants: Optional[dict]) -> dict:
+    env = dict(constants) if constants else {}
+    for name, value in arguments.items():
+        if isinstance(value, (int, np.integer)) and not isinstance(value, bool):
+            env[name] = int(value)
+    return env
+
+
+def _evaluate_dims(spec, env: dict) -> list[Optional[int]]:
+    extents: list[Optional[int]] = []
+    for dim in spec.dims:
+        try:
+            extents.append(dim.evaluate(env))
+        except PragmaError:
+            extents.append(None)  # references an unknown constant: skip
+    return extents
+
+
+def _shape_extents(value: Any) -> tuple:
+    if isinstance(value, np.ndarray):
+        return value.shape
+    try:
+        return (len(value),)
+    except TypeError:
+        return ()
+
+
+def build_accesses(
+    definition: TaskDefinition,
+    arguments: dict,
+    constants: Optional[dict] = None,
+) -> list[ParamAccess]:
+    """Produce one :class:`ParamAccess` per clause appearance."""
+
+    # Expression evaluation (dimension/region bounds) is only needed
+    # when the pragma actually uses it — the common tile tasks skip it.
+    env = (
+        _expression_env(arguments, constants)
+        if definition.needs_expressions
+        else None
+    )
+    positions = definition.positions
+    accesses: list[ParamAccess] = []
+    for spec in definition.params:
+        if spec.name not in arguments:
+            raise InvocationError(
+                f"task {definition.name!r}: declared parameter {spec.name!r} "
+                f"missing from the call"
+            )
+        value = arguments[spec.name]
+        if spec.dims and isinstance(value, np.ndarray):
+            _check_dims(definition, spec, value, env)
+        region = None
+        if spec.regions:
+            region = _resolve_region(definition, spec, value, env)
+        accesses.append(
+            ParamAccess(
+                name=spec.name,
+                direction=spec.direction,
+                value=value,
+                region=region,
+                position=positions.get(spec.name, -1),
+            )
+        )
+    return accesses
+
+
+def _check_dims(definition, spec, value: np.ndarray, env: Optional[dict]) -> None:
+    """Validate declared dimension specifiers against the real array.
+
+    The paper's runtime "requires its size for proper operation";
+    evaluable mismatched dimensions are programming errors we can catch
+    at invocation time.  Dimensions referencing unknown constants are
+    skipped.
+    """
+
+    declared = _evaluate_dims(spec, env or {})
+    if any(d is None for d in declared):
+        return
+    if len(declared) != value.ndim or tuple(declared) != value.shape:
+        raise InvocationError(
+            f"task {definition.name!r}: parameter {spec.name!r} declared "
+            f"as {spec} (shape {tuple(declared)}) but the argument has "
+            f"shape {value.shape}"
+        )
+
+
+def _resolve_region(definition, spec, value, env) -> Region:
+    if env is None:
+        env = {}
+    declared = _evaluate_dims(spec, env)
+    shape = _shape_extents(value)
+    intervals = []
+    for d, rspec in enumerate(spec.regions):
+        extent: Optional[int] = None
+        if d < len(declared) and declared[d] is not None:
+            extent = declared[d]
+        elif d < len(shape):
+            extent = int(shape[d])
+        try:
+            lo, hi = rspec.bounds(env, extent)
+        except PragmaError as exc:
+            raise InvocationError(
+                f"task {definition.name!r}: cannot resolve region of "
+                f"parameter {spec.name!r}: {exc}"
+            ) from exc
+        if (lo, hi) != FULL_DIM and extent is not None and hi >= extent:
+            raise InvocationError(
+                f"task {definition.name!r}: region {{{lo}..{hi}}} of "
+                f"parameter {spec.name!r} exceeds its extent {extent}"
+            )
+        intervals.append((lo, hi))
+    try:
+        return Region(tuple(intervals))
+    except RegionError as exc:
+        raise InvocationError(
+            f"task {definition.name!r}: invalid region for parameter "
+            f"{spec.name!r}: {exc}"
+        ) from exc
+
+
+def instantiate(
+    definition: TaskDefinition,
+    args: tuple,
+    kwargs: dict,
+    constants: Optional[dict] = None,
+) -> TaskInstance:
+    """Bind + build accesses + create the dynamic task instance."""
+
+    arguments = definition.bind_dict(args, kwargs)
+    if constants or getattr(definition, "constants", None):
+        merged = dict(constants) if constants else {}
+        merged.update(getattr(definition, "constants", None) or {})
+    else:
+        merged = None
+    accesses = build_accesses(definition, arguments, merged)
+    return TaskInstance(
+        definition=definition,
+        accesses=accesses,
+        arguments=arguments,
+        high_priority=definition.high_priority,
+    )
+
+
+def resolve_call_values(task: TaskInstance) -> list:
+    """Concrete argument values for executing *task*.
+
+    Whole-object tracked parameters resolve to their version's storage
+    (which is where renaming redirects reads and writes); everything
+    else (scalars, opaque values, region-mode objects whose storage is
+    always the user's buffer) resolves to the captured value.
+    """
+
+    resolved = dict(task.arguments)
+    for name, version in task.reads:
+        if version.datum.region_mode:
+            continue
+        resolved[name] = version.resolve_storage()
+    for name, version in task.writes:
+        if version.datum.region_mode:
+            continue
+        resolved[name] = version.resolve_storage()
+    return [resolved[name] for name in task.definition.param_names]

@@ -1,0 +1,172 @@
+"""Array regions: the section V.A language extension, fully implemented.
+
+The paper defines: given an N-dimensional array ``A`` with dimensions
+``d1..dN``, an array region ``R`` is a list of pairs ``(lj, uj)`` of
+inclusive lower/upper bounds, selecting all elements whose index in
+every dimension j satisfies ``lj <= ij <= uj``.
+
+The paper *proposes* the syntax but notes its runtime "does not yet
+include support for array regions"; this module provides the missing
+implementation used by our dependency engine: exact hyper-rectangle
+intersection tests decide whether two accesses to the same base object
+conflict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+__all__ = ["Region", "RegionError", "FULL_DIM"]
+
+
+class RegionError(ValueError):
+    """Raised on an invalid region (e.g. lower bound above upper)."""
+
+
+#: Sentinel inclusive interval meaning "the whole dimension" when the
+#: extent is unknown at declaration time.
+FULL_DIM: Tuple[int, int] = (0, -1)
+
+
+@dataclass(frozen=True)
+class Region:
+    """An N-dimensional hyper-rectangle of inclusive index intervals."""
+
+    intervals: Tuple[Tuple[int, int], ...]
+
+    def __post_init__(self) -> None:
+        for lo, hi in self.intervals:
+            if (lo, hi) == FULL_DIM:
+                continue
+            if lo < 0:
+                raise RegionError(f"negative lower bound in region {self.intervals}")
+            if hi < lo:
+                raise RegionError(
+                    f"empty interval ({lo}, {hi}) in region {self.intervals}; "
+                    f"upper bound must be >= lower bound"
+                )
+
+    # -- constructors ---------------------------------------------------
+    @classmethod
+    def from_bounds(cls, *pairs: Tuple[int, int]) -> "Region":
+        return cls(tuple(pairs))
+
+    @classmethod
+    def full(cls, ndim: int = 1) -> "Region":
+        """A region covering every element of an *ndim*-dimensional array."""
+
+        return cls(tuple(FULL_DIM for _ in range(ndim)))
+
+    @classmethod
+    def from_slice(cls, start: int, stop: int) -> "Region":
+        """1-D region from a half-open Python slice ``[start, stop)``."""
+
+        if stop <= start:
+            raise RegionError(f"empty slice [{start}, {stop})")
+        return cls(((start, stop - 1),))
+
+    # -- predicates -------------------------------------------------------
+    @property
+    def ndim(self) -> int:
+        return len(self.intervals)
+
+    @property
+    def is_full(self) -> bool:
+        return all(iv == FULL_DIM for iv in self.intervals)
+
+    def overlaps(self, other: "Region") -> bool:
+        """True if the two hyper-rectangles share at least one element.
+
+        Regions of different rank refer to different views of the same
+        base object; we conservatively report a conflict (the paper's
+        runtime would have keyed on raw byte ranges, where any rank
+        mismatch still aliases).
+        """
+
+        if self.ndim != other.ndim:
+            return True
+        for (alo, ahi), (blo, bhi) in zip(self.intervals, other.intervals):
+            if (alo, ahi) == FULL_DIM or (blo, bhi) == FULL_DIM:
+                continue
+            if ahi < blo or bhi < alo:
+                return False
+        return True
+
+    def contains(self, other: "Region") -> bool:
+        """True if *other* is entirely inside *self*."""
+
+        if self.ndim != other.ndim:
+            return False
+        for (alo, ahi), (blo, bhi) in zip(self.intervals, other.intervals):
+            if (alo, ahi) == FULL_DIM:
+                continue
+            if (blo, bhi) == FULL_DIM:
+                return False
+            if blo < alo or bhi > ahi:
+                return False
+        return True
+
+    def intersection(self, other: "Region") -> Optional["Region"]:
+        """The overlapping sub-region, or ``None`` when disjoint."""
+
+        if self.ndim != other.ndim:
+            return None
+        out = []
+        for (alo, ahi), (blo, bhi) in zip(self.intervals, other.intervals):
+            if (alo, ahi) == FULL_DIM:
+                out.append((blo, bhi))
+                continue
+            if (blo, bhi) == FULL_DIM:
+                out.append((alo, ahi))
+                continue
+            lo, hi = max(alo, blo), min(ahi, bhi)
+            if hi < lo:
+                return None
+            out.append((lo, hi))
+        return Region(tuple(out))
+
+    def element_count(self) -> Optional[int]:
+        """Number of selected elements; ``None`` if any dim is FULL."""
+
+        total = 1
+        for lo, hi in self.intervals:
+            if (lo, hi) == FULL_DIM:
+                return None
+            total *= hi - lo + 1
+        return total
+
+    # -- conversions ------------------------------------------------------
+    def to_slices(self) -> Tuple[slice, ...]:
+        """Convert to numpy-style slices (FULL dims become ``slice(None)``)."""
+
+        return tuple(
+            slice(None) if (lo, hi) == FULL_DIM else slice(lo, hi + 1)
+            for lo, hi in self.intervals
+        )
+
+    def resolved_against(self, shape: Sequence[int]) -> "Region":
+        """Replace FULL sentinels with the concrete extents of *shape*."""
+
+        if len(shape) < self.ndim:
+            raise RegionError(
+                f"region of rank {self.ndim} cannot be resolved against "
+                f"shape {tuple(shape)}"
+            )
+        out = []
+        for (lo, hi), extent in zip(self.intervals, shape):
+            if (lo, hi) == FULL_DIM:
+                out.append((0, extent - 1))
+            else:
+                if hi >= extent:
+                    raise RegionError(
+                        f"region interval ({lo}, {hi}) exceeds extent {extent}"
+                    )
+                out.append((lo, hi))
+        return Region(tuple(out))
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        parts = [
+            "{}" if iv == FULL_DIM else "{%d..%d}" % iv for iv in self.intervals
+        ]
+        return "".join(parts)

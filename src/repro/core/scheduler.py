@@ -1,0 +1,249 @@
+"""The SMPSs ready-task scheduler (section III).
+
+Shared verbatim by the threaded runtime and the discrete-event machine
+simulator — both drive the exact same policy object, so the simulated
+figures exercise the code path the real runtime uses.
+
+Policy, quoting the paper:
+
+* "There are two main ready lists, one for high priority tasks and one
+  for normal priority tasks."
+* "Each worker thread has its own ready list that contains tasks whose
+  last input dependency has been removed by that thread."
+* "Threads look up ready tasks first in the high priority list.  If it
+  is empty, then they look up their own ready list.  If they do not
+  succeed, they proceed to check out the main ready list.  In case of
+  failure, they proceed to steal work from other threads in creation
+  order starting from the next one."
+* "Threads consume tasks from their own list in LIFO order, they get
+  tasks from the main list in FIFO order, and they steal from other
+  threads in FIFO order."
+
+The LIFO-own / FIFO-steal combination walks the graph pseudo-depth-first
+per thread and steals pseudo-breadth-first, keeping threads on disjoint
+graph regions (cache-friendly) — the same discipline as Cilk, with a
+locality motivation (section VII.D).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Optional
+
+from .task import TaskInstance, TaskState
+
+__all__ = [
+    "SmpssScheduler",
+    "SchedulerStats",
+    "CentralQueueScheduler",
+    "HotStealScheduler",
+]
+
+
+@dataclass
+class SchedulerStats:
+    pushed_new: int = 0
+    pushed_unlocked: int = 0
+    pops_high: int = 0
+    pops_local: int = 0
+    pops_main: int = 0
+    steals: int = 0
+    failed_pops: int = 0
+
+
+class SmpssScheduler:
+    """Ready lists + the section III selection policy.
+
+    Thread index 0 is the main thread (which "also contributes to run
+    tasks" while blocked); 1..num_workers are the worker threads.  The
+    structure is *not* internally locked — the owning runtime serialises
+    access (threaded backend) or is single-threaded (simulator).
+    """
+
+    def __init__(self, num_threads: int, tracer=None):
+        if num_threads < 1:
+            raise ValueError("need at least the main thread")
+        self.num_threads = num_threads
+        self.high: deque[TaskInstance] = deque()
+        self.main: deque[TaskInstance] = deque()
+        self.locals: list[deque[TaskInstance]] = [deque() for _ in range(num_threads)]
+        self.stats = SchedulerStats()
+        self.tracer = tracer
+        self._ready_count = 0
+
+    # ------------------------------------------------------------------
+    # insertion
+    # ------------------------------------------------------------------
+    def push_new(self, task: TaskInstance) -> None:
+        """A task added to the graph with no unsatisfied dependency.
+
+        "Whenever a task is added without any input dependency, it is
+        moved into the main ready list or the high priority list."
+        """
+
+        task.state = TaskState.READY
+        if task.high_priority:
+            self.high.append(task)
+        else:
+            self.main.append(task)
+        self.stats.pushed_new += 1
+        self._ready_count += 1
+        if self.tracer:
+            self.tracer.task_ready(task)
+
+    def push_unlocked(self, task: TaskInstance, thread: int) -> None:
+        """A task whose last dependency was removed by *thread*.
+
+        High-priority tasks are "scheduled as soon as possible
+        independently of any locality consideration", so they go to the
+        global high list; others go to the unlocking thread's own list.
+        """
+
+        task.state = TaskState.READY
+        if task.high_priority:
+            self.high.append(task)
+        else:
+            self.locals[thread].append(task)
+        self.stats.pushed_unlocked += 1
+        self._ready_count += 1
+        if self.tracer:
+            self.tracer.task_ready(task)
+
+    # ------------------------------------------------------------------
+    # selection
+    # ------------------------------------------------------------------
+    def pop(self, thread: int) -> Optional[TaskInstance]:
+        """Pick the next task for *thread* according to the policy."""
+
+        if self._ready_count == 0:
+            self.stats.failed_pops += 1
+            return None
+        task = self._select(thread)
+        if task is None:
+            self.stats.failed_pops += 1
+            return None
+        task.state = TaskState.RUNNING
+        self._ready_count -= 1
+        return task
+
+    def _select(self, thread: int) -> Optional[TaskInstance]:
+        if self.high:
+            self.stats.pops_high += 1
+            return self.high.popleft()  # FIFO
+        own = self.locals[thread]
+        if own:
+            self.stats.pops_local += 1
+            return own.pop()  # LIFO
+        if self.main:
+            self.stats.pops_main += 1
+            return self.main.popleft()  # FIFO
+        # Steal in creation order starting from the next thread, FIFO —
+        # the task "that has spent most time on the queue and has more
+        # probability of having most of its input data already evicted
+        # from the cache" of the victim.
+        for offset in range(1, self.num_threads):
+            victim = (thread + offset) % self.num_threads
+            queue = self.locals[victim]
+            if queue:
+                self.stats.steals += 1
+                task = queue.popleft()
+                if self.tracer:
+                    self.tracer.steal(task, thief=thread, victim=victim)
+                return task
+        return None
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def ready_count(self) -> int:
+        return self._ready_count
+
+    def has_ready(self) -> bool:
+        return self._ready_count > 0
+
+
+class HotStealScheduler(SmpssScheduler):
+    """Ablation: steal from the LIFO (hot) end of the victim's deque.
+
+    The paper steals in FIFO order "to minimize the effect on the cache
+    of the victim thread by choosing the task that has spent most time
+    on the queue".  This variant steals the task the victim would run
+    next — maximising cache disturbance — so the benefit of the FIFO
+    choice can be measured (``benchmarks/bench_ablations.py``).
+    """
+
+    def _select(self, thread: int):
+        if self.high:
+            self.stats.pops_high += 1
+            return self.high.popleft()
+        own = self.locals[thread]
+        if own:
+            self.stats.pops_local += 1
+            return own.pop()
+        if self.main:
+            self.stats.pops_main += 1
+            return self.main.popleft()
+        for offset in range(1, self.num_threads):
+            victim = (thread + offset) % self.num_threads
+            queue = self.locals[victim]
+            if queue:
+                self.stats.steals += 1
+                task = queue.pop()  # LIFO end: the victim's hot task
+                if self.tracer:
+                    self.tracer.steal(task, thief=thread, victim=victim)
+                return task
+        return None
+
+
+class CentralQueueScheduler:
+    """Ablation: a single global FIFO ready queue, no locality lists.
+
+    Models the CellSs / SuperMatrix organisation the paper contrasts
+    with in section VII ("SuperMatrix has a central ready queue", "CellSs
+    has a unique queue and does not employ work-stealing").  Exposes the
+    same interface as :class:`SmpssScheduler` so both runtimes accept it.
+    """
+
+    def __init__(self, num_threads: int, tracer=None):
+        self.num_threads = num_threads
+        self.high: deque[TaskInstance] = deque()
+        self.queue: deque[TaskInstance] = deque()
+        self.stats = SchedulerStats()
+        self.tracer = tracer
+        self._ready_count = 0
+
+    def push_new(self, task: TaskInstance) -> None:
+        task.state = TaskState.READY
+        (self.high if task.high_priority else self.queue).append(task)
+        self.stats.pushed_new += 1
+        self._ready_count += 1
+        if self.tracer:
+            self.tracer.task_ready(task)
+
+    def push_unlocked(self, task: TaskInstance, thread: int) -> None:
+        task.state = TaskState.READY
+        (self.high if task.high_priority else self.queue).append(task)
+        self.stats.pushed_unlocked += 1
+        self._ready_count += 1
+        if self.tracer:
+            self.tracer.task_ready(task)
+
+    def pop(self, thread: int) -> Optional[TaskInstance]:
+        source = self.high if self.high else self.queue
+        if not source:
+            self.stats.failed_pops += 1
+            return None
+        task = source.popleft()
+        task.state = TaskState.RUNNING
+        self._ready_count -= 1
+        self.stats.pops_main += 1
+        return task
+
+    @property
+    def ready_count(self) -> int:
+        return self._ready_count
+
+    def has_ready(self) -> bool:
+        return self._ready_count > 0

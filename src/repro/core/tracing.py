@@ -1,0 +1,242 @@
+"""Tracing-enabled runtime support.
+
+Section VII.A: "SMPSs is composed of a set of tools focused on the
+programmer consisting of a compiler, a standard runtime and a
+tracing-enabled runtime.  The tracing-enabled version records events
+related to task creation and execution for post-mortem analysis with
+the Paraver tool."
+
+This module is the Python analogue: a :class:`Tracer` collects typed
+events with timestamps (wall-clock in the threaded runtime, virtual
+time in the simulator) and offers post-mortem queries — per-thread busy
+time, task intervals, steal/rename counts — plus a Paraver-like ASCII
+timeline and a ``.prv``-style record dump.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional
+
+__all__ = ["TraceEvent", "Tracer", "NullTracer", "EventKind"]
+
+
+class EventKind:
+    TASK_ADDED = "task_added"
+    TASK_READY = "task_ready"
+    TASK_START = "task_start"
+    TASK_END = "task_end"
+    STEAL = "steal"
+    RENAME = "rename"
+    BARRIER_ENTER = "barrier_enter"
+    BARRIER_EXIT = "barrier_exit"
+    WRITE_BACK = "write_back"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    time: float
+    kind: str
+    task_id: int = -1
+    task_name: str = ""
+    thread: int = -1
+    extra: tuple = ()
+
+
+class Tracer:
+    """Event recorder; one per runtime instance.
+
+    *clock* defaults to :func:`time.perf_counter`; the simulator injects
+    its virtual clock instead.
+    """
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None):
+        self.clock = clock or time.perf_counter
+        self.events: list[TraceEvent] = []
+
+    # -- emit helpers ------------------------------------------------------
+    def _emit(self, kind: str, task=None, thread: int = -1, extra: tuple = ()):
+        self.events.append(
+            TraceEvent(
+                time=self.clock(),
+                kind=kind,
+                task_id=task.task_id if task is not None else -1,
+                task_name=task.name if task is not None else "",
+                thread=thread,
+                extra=extra,
+            )
+        )
+
+    def task_added(self, task) -> None:
+        self._emit(EventKind.TASK_ADDED, task)
+
+    def task_ready(self, task) -> None:
+        self._emit(EventKind.TASK_READY, task)
+
+    def task_start(self, task, thread: int) -> None:
+        self._emit(EventKind.TASK_START, task, thread)
+
+    def task_end(self, task, thread: int) -> None:
+        self._emit(EventKind.TASK_END, task, thread)
+
+    def steal(self, task, thief: int, victim: int) -> None:
+        self._emit(EventKind.STEAL, task, thief, extra=("victim", victim))
+
+    def rename(self, task, datum, kind) -> None:
+        self._emit(
+            EventKind.RENAME,
+            task,
+            extra=(type(datum.base).__name__, getattr(kind, "value", str(kind))),
+        )
+
+    def barrier_enter(self, thread: int = 0) -> None:
+        self._emit(EventKind.BARRIER_ENTER, thread=thread)
+
+    def barrier_exit(self, thread: int = 0) -> None:
+        self._emit(EventKind.BARRIER_EXIT, thread=thread)
+
+    def write_back(self, count: int) -> None:
+        self._emit(EventKind.WRITE_BACK, extra=(count,))
+
+    # -- post-mortem queries ----------------------------------------------
+    def of_kind(self, kind: str) -> list[TraceEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def counts(self) -> Counter:
+        return Counter(e.kind for e in self.events)
+
+    def task_intervals(self) -> dict[int, tuple[float, float, int, str]]:
+        """task_id -> (start, end, thread, name) for completed tasks."""
+
+        starts: dict[int, TraceEvent] = {}
+        intervals: dict[int, tuple[float, float, int, str]] = {}
+        for event in self.events:
+            if event.kind == EventKind.TASK_START:
+                starts[event.task_id] = event
+            elif event.kind == EventKind.TASK_END:
+                begin = starts.get(event.task_id)
+                if begin is not None:
+                    intervals[event.task_id] = (
+                        begin.time, event.time, event.thread, event.task_name
+                    )
+        return intervals
+
+    def busy_time_by_thread(self) -> dict[int, float]:
+        busy: dict[int, float] = defaultdict(float)
+        for start, end, thread, _name in self.task_intervals().values():
+            busy[thread] += end - start
+        return dict(busy)
+
+    def tasks_by_thread(self) -> dict[int, int]:
+        counts: dict[int, int] = defaultdict(int)
+        for _s, _e, thread, _n in self.task_intervals().values():
+            counts[thread] += 1
+        return dict(counts)
+
+    def makespan(self) -> float:
+        intervals = self.task_intervals().values()
+        if not intervals:
+            return 0.0
+        return max(e for _s, e, _t, _n in intervals) - min(
+            s for s, _e, _t, _n in intervals
+        )
+
+    # -- exports -------------------------------------------------------------
+    def to_records(self) -> Iterable[str]:
+        """Paraver-like one-line-per-event textual records."""
+
+        for event in self.events:
+            extra = ":".join(str(x) for x in event.extra)
+            yield (
+                f"{event.time:.9f}:{event.kind}:{event.thread}:"
+                f"{event.task_id}:{event.task_name}:{extra}"
+            )
+
+    def to_paraver(self) -> str:
+        """A Paraver-style trace file (``.prv`` dialect).
+
+        Header line ``#Paraver (...)`` followed by state records
+        (``1:cpu:appl:task:thread:begin:end:state``) for task
+        executions and event records (``2:cpu:...:time:type:value``)
+        for the point events (ready, steal, rename, barrier).  Event
+        type codes are listed in the trailer comment.
+        """
+
+        intervals = self.task_intervals()
+        end_time = max((e.time for e in self.events), default=0.0)
+        lines = [
+            f"#Paraver (01/01/2008 at 00:00):{_us(end_time)}"
+            ":1(1):1:1(1:1)"
+        ]
+        for task_id, (start, end, thread, _name) in sorted(intervals.items()):
+            cpu = thread + 1
+            lines.append(
+                f"1:{cpu}:1:1:{cpu}:{_us(start)}:{_us(end)}:{task_id}"
+            )
+        type_codes = {
+            EventKind.TASK_ADDED: 90000001,
+            EventKind.TASK_READY: 90000002,
+            EventKind.STEAL: 90000003,
+            EventKind.RENAME: 90000004,
+            EventKind.BARRIER_ENTER: 90000005,
+            EventKind.BARRIER_EXIT: 90000006,
+            EventKind.WRITE_BACK: 90000007,
+        }
+        for event in self.events:
+            code = type_codes.get(event.kind)
+            if code is None:
+                continue
+            cpu = max(event.thread, 0) + 1
+            value = event.task_id if event.task_id >= 0 else 0
+            lines.append(f"2:{cpu}:1:1:{cpu}:{_us(event.time)}:{code}:{value}")
+        lines.append("# event types: " + ", ".join(
+            f"{code}={kind}" for kind, code in type_codes.items()
+        ))
+        return "\n".join(lines)
+
+    def ascii_timeline(self, width: int = 72) -> str:
+        """A tiny Paraver-style Gantt: one row per thread."""
+
+        intervals = self.task_intervals()
+        if not intervals:
+            return "(no task intervals recorded)"
+        t0 = min(s for s, _e, _t, _n in intervals.values())
+        t1 = max(e for _s, e, _t, _n in intervals.values())
+        span = max(t1 - t0, 1e-12)
+        rows: dict[int, list[str]] = defaultdict(lambda: [" "] * width)
+        for start, end, thread, name in intervals.values():
+            lo = int((start - t0) / span * (width - 1))
+            hi = max(lo, int((end - t0) / span * (width - 1)))
+            glyph = name[0] if name else "#"
+            for i in range(lo, hi + 1):
+                rows[thread][i] = glyph
+        lines = [
+            f"thr {thread:2d} |{''.join(cells)}|"
+            for thread, cells in sorted(rows.items())
+        ]
+        return "\n".join(lines)
+
+
+def _us(seconds: float) -> int:
+    """Paraver timestamps are integer microseconds."""
+
+    return int(round(seconds * 1e6))
+
+
+class NullTracer:
+    """No-op stand-in with the same interface (zero overhead paths)."""
+
+    events: list = []
+
+    def __getattr__(self, _name):
+        return self._noop
+
+    @staticmethod
+    def _noop(*_args, **_kwargs) -> None:
+        return None
+
+    def __bool__(self) -> bool:
+        # `if self.tracer:` guards skip emission entirely.
+        return False

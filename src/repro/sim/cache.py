@@ -1,0 +1,97 @@
+"""Per-core LRU cache model.
+
+Section III's scheduler is built around locality: "schedule dependant
+tasks sequentially to the same core so that output data is reused
+immediately" and "keep each thread on a different region of the graph
+... and thus minimize cache coherency overhead".  This model is the
+simulator's mechanism for rewarding exactly that behaviour: a task's
+memory-traffic term only counts the bytes of operands *missing* from
+its core's cache, so depth-first chains on one core run faster than the
+same tasks scattered across cores.
+
+A shared *residency index* (datum -> set of cores caching it) lets the
+engine invalidate a written datum on other cores in O(holders) instead
+of O(cores).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+__all__ = ["CoreCache", "ResidencyIndex"]
+
+
+class ResidencyIndex(dict):
+    """datum key -> set of core ids currently caching it."""
+
+    def holders(self, key: int) -> frozenset:
+        return frozenset(self.get(key, ()))
+
+
+class CoreCache:
+    """LRU over datum identities, capacity in bytes."""
+
+    __slots__ = ("core_id", "capacity", "_entries", "_used", "hits", "misses", "_residency")
+
+    def __init__(self, capacity: int, core_id: int = -1, residency: Optional[ResidencyIndex] = None):
+        self.core_id = core_id
+        self.capacity = int(capacity)
+        self._entries: OrderedDict[int, int] = OrderedDict()  # key -> bytes
+        self._used = 0
+        self.hits = 0
+        self.misses = 0
+        self._residency = residency
+
+    def _register(self, key: int) -> None:
+        if self._residency is not None:
+            self._residency.setdefault(key, set()).add(self.core_id)
+
+    def _unregister(self, key: int) -> None:
+        if self._residency is not None:
+            holders = self._residency.get(key)
+            if holders is not None:
+                holders.discard(self.core_id)
+                if not holders:
+                    del self._residency[key]
+
+    def touch(self, key: int, size: int) -> bool:
+        """Access one datum; returns True on a hit.
+
+        Misses insert the datum (evicting LRU entries as needed); an
+        object larger than the whole cache never caches.
+        """
+
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return True
+        self.misses += 1
+        if size > self.capacity:
+            return False
+        while self._used + size > self.capacity and self._entries:
+            evicted, evicted_size = self._entries.popitem(last=False)
+            self._used -= evicted_size
+            self._unregister(evicted)
+        self._entries[key] = size
+        self._used += size
+        self._register(key)
+        return False
+
+    def invalidate(self, key: int) -> None:
+        """Drop one datum (coherency: another core wrote it)."""
+
+        size = self._entries.pop(key, None)
+        if size is not None:
+            self._used -= size
+            self._unregister(key)
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._entries

@@ -1,0 +1,268 @@
+"""Task cost model: virtual duration of one task on one core.
+
+Duration =
+
+    max( flops / (core_peak * efficiency(kernel, tile, library)),
+         missed_bytes / core_bandwidth )
+    + runtime dispatch overhead
+    + renaming materialisation cost (FRESH alloc / CLONE alloc+copy)
+
+The roofline-style max() captures both regimes the paper discusses:
+compute-bound level-3 tiles, and bandwidth-bound Strassen additions
+("less arithmetic operations per memory access, thus demanding more
+memory bandwidth", section VI.C).  Cache hits (tracked per core by
+:class:`~repro.sim.cache.CoreCache`) remove an operand's traffic, which
+is how the section III locality scheduling pays off in simulated time.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..core.renaming import StorageKind
+from ..core.task import Direction, TaskInstance
+from . import calibration
+from .cache import CoreCache
+from .machine import MachineConfig
+
+__all__ = ["CostModel", "TaskCost"]
+
+
+_GEMM_CLASS = {"sgemm_t", "sgemm_nt_t", "smul_t"}
+_ADD_CLASS = {"sadd_t", "ssub_t", "_sadd_t", "_ssub_t", "scopy_t"}
+_ACC_CLASS = {"sacc_t", "ssubacc_t"}
+_COPY_CLASS = {"get_block_t", "put_block_t"}
+#: Bandwidth-bound workloads subject to NUMA contention (Figure 14):
+#: the real task names and their synthetic baseline-DAG counterparts.
+_BANDWIDTH_BOUND = {
+    "seqquick_t", "seqmerge_t", "seqmerge_piece_t", "seqquick", "seqmerge",
+}
+#: Synthetic baseline-DAG nodes (Cilk/OMP): dependency-unaware
+#: scheduling shuffles streams across cores, so their contention is a
+#: shade worse than the locality-aware SMPSs scheduler's (section III).
+_BASELINE_STREAM = {"seqquick", "seqmerge"}
+
+
+@dataclass
+class TaskCost:
+    """Breakdown of one task's simulated cost (for tracing/tests)."""
+
+    compute: float = 0.0
+    memory: float = 0.0
+    overhead: float = 0.0
+    rename: float = 0.0
+    flops: int = 0
+
+    @property
+    def total(self) -> float:
+        return max(self.compute, self.memory) + self.overhead + self.rename
+
+
+@dataclass
+class CostModel:
+    """Maps task instances to virtual durations.
+
+    *block_size* is the logical tile edge used when workloads run with
+    symbolic (1x1) placeholder blocks; real arrays override it with
+    their actual shape.  *library* selects the Goto/MKL tile-efficiency
+    personality.
+    """
+
+    machine: MachineConfig
+    library: str = "goto"
+    block_size: Optional[int] = None
+    dtype_bytes: int = 4  # single precision, as in the evaluation
+    model_cache: bool = True
+    #: per-search-node cost for nqueens_task (None: calibration default).
+    queens_node_cost: Optional[float] = None
+
+    total_flops: int = field(default=0, init=False)
+    total_bytes_missed: int = field(default=0, init=False)
+    tasks_costed: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        try:
+            self.profile = calibration.LIBRARIES[self.library]
+        except KeyError:
+            raise ValueError(
+                f"unknown library {self.library!r}; have {sorted(calibration.LIBRARIES)}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    def duration(self, task: TaskInstance, cache: Optional[CoreCache]) -> float:
+        return self.cost(task, cache).total
+
+    def cost(self, task: TaskInstance, cache: Optional[CoreCache]) -> TaskCost:
+        """Compute (and account) the cost of *task* on a core.
+
+        Mutates *cache* with the task's working set.
+        """
+
+        out = TaskCost(overhead=self.machine.task_dispatch_overhead)
+        name = task.name
+        args = task.arguments
+
+        explicit = args.get("_duration")
+        if explicit is not None:
+            out.compute = float(explicit)
+            if name in _BANDWIDTH_BOUND:
+                locality = 1.12 if name in _BASELINE_STREAM else 1.0
+                out.compute *= self._contention(locality)
+        elif name in _GEMM_CLASS:
+            m = self._tile_edge(task)
+            out.flops = 2 * m * m * m
+            out.compute = self._compute_time(out.flops, "gemm", m)
+            out.memory = self._traffic(task, cache, self._tile_bytes(m))
+        elif name == "ssyrk_t":
+            m = self._tile_edge(task)
+            out.flops = m * m * m + m * m
+            out.compute = self._compute_time(out.flops, "syrk", m)
+            out.memory = self._traffic(task, cache, self._tile_bytes(m))
+        elif name == "strsm_t":
+            m = self._tile_edge(task)
+            out.flops = m * m * m
+            out.compute = self._compute_time(out.flops, "trsm", m)
+            out.memory = self._traffic(task, cache, self._tile_bytes(m))
+        elif name == "spotrf_t":
+            m = self._tile_edge(task)
+            out.flops = m * m * m // 3
+            out.compute = self._compute_time(out.flops, "potrf", m)
+            out.memory = self._traffic(task, cache, self._tile_bytes(m))
+        elif name in _ADD_CLASS or name in _ACC_CLASS:
+            m = self._tile_edge(task)
+            out.flops = m * m
+            # Element-wise tiles run at memory speed, not gemm speed.
+            out.compute = out.flops / (self.machine.core_peak_flops * 0.05)
+            out.memory = self._traffic(task, cache, self._tile_bytes(m))
+        elif name in _COPY_CLASS:
+            m = self._tile_edge(task)
+            # One side of the copy is the opaque flat matrix: always a
+            # miss (it is far larger than any cache).
+            flat_bytes = self._tile_bytes(m)
+            out.memory = self._traffic(task, cache, self._tile_bytes(m)) + (
+                flat_bytes / self.machine.core_bandwidth
+            )
+        elif name == "seqquick_t":
+            n = int(args["j"]) - int(args["i"]) + 1
+            out.compute = calibration.SORT_COST_PER_NLOGN * n * max(
+                1.0, math.log2(max(n, 2))
+            ) * self._contention()
+        elif name == "seqmerge_t":
+            n = (int(args["j1"]) - int(args["i1"]) + 1) + (
+                int(args["j2"]) - int(args["i2"]) + 1
+            )
+            out.compute = calibration.MERGE_COST_PER_ELEMENT * n * self._contention()
+        elif name == "seqmerge_piece_t":
+            n = (int(args["h1"]) - int(args["l1"]) + 1) + (
+                int(args["h2"]) - int(args["l2"]) + 1
+            )
+            out.compute = calibration.MERGE_COST_PER_ELEMENT * n * self._contention()
+        elif name == "place_t":
+            out.compute = 0.3e-6
+        elif name == "nqueens_task":
+            nodes = self._queens_nodes(task)
+            node_cost = (
+                self.queens_node_cost
+                if self.queens_node_cost is not None
+                else calibration.QUEENS_COST_PER_NODE
+            )
+            out.compute = node_cost * nodes
+        else:
+            # Unknown task: charge dispatch overhead only (synthetic
+            # zero-work node) — baseline builders use _duration instead.
+            out.compute = 0.0
+
+        out.rename = self._rename_cost(task)
+        self.total_flops += out.flops
+        self.tasks_costed += 1
+        return out
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _tile_edge(self, task: TaskInstance) -> int:
+        # Only *tracked* parameters are tiles; opaque ones (the flat
+        # matrix of Figures 9/10) must not set the tile size.
+        for access in task.accesses:
+            if access.direction is Direction.OPAQUE:
+                continue
+            value = access.value
+            if isinstance(value, np.ndarray) and value.ndim == 2 and value.shape[0] > 1:
+                return int(value.shape[0])
+        if self.block_size is None:
+            raise ValueError(
+                f"cost model needs block_size for symbolic task {task.name!r}"
+            )
+        return self.block_size
+
+    def _contention(self, locality: float = 1.0) -> float:
+        """NUMA bandwidth contention multiplier for streaming work."""
+
+        alpha = calibration.MEMORY_CONTENTION_ALPHA * locality
+        return 1.0 + alpha * (self.machine.cores - 1)
+
+    def _tile_bytes(self, m: int) -> int:
+        return m * m * self.dtype_bytes
+
+    def _compute_time(self, flops: int, kernel_class: str, m: int) -> float:
+        eff = self.profile.efficiency(kernel_class, m)
+        return flops / (self.machine.core_peak_flops * eff)
+
+    def _traffic(
+        self, task: TaskInstance, cache: Optional[CoreCache], tile_bytes: int
+    ) -> float:
+        """Memory time for the task's tracked operands on this core."""
+
+        missed = 0
+        seen: set[int] = set()
+        for access in task.accesses:
+            if access.direction is Direction.OPAQUE:
+                continue  # opaque traffic is modelled by the caller
+            value = access.value
+            if not isinstance(value, np.ndarray):
+                continue
+            key = id(value)
+            if key in seen:
+                continue
+            seen.add(key)
+            # Real operands know their own size; 1x1 placeholders stand
+            # for a logical tile of the configured block size.
+            size = value.nbytes if value.size > 1 else tile_bytes
+            if cache is None or not self.model_cache:
+                missed += size
+            elif not cache.touch(key, size):
+                missed += size
+        self.total_bytes_missed += missed
+        return missed / self.machine.core_bandwidth
+
+    def _rename_cost(self, task: TaskInstance) -> float:
+        cost = 0.0
+        for _name, version in task.writes:
+            if version.kind is StorageKind.FRESH:
+                cost += self.machine.rename_alloc_overhead
+            elif version.kind is StorageKind.CLONE:
+                m = self._tile_edge_or_len(version)
+                cost += self.machine.rename_alloc_overhead + (
+                    m / self.machine.core_bandwidth
+                )
+        return cost
+
+    def _tile_edge_or_len(self, version) -> int:
+        base = version.datum.base
+        if isinstance(base, np.ndarray):
+            return int(base.nbytes)
+        return 64  # small object clone
+
+    def _queens_nodes(self, task: TaskInstance) -> int:
+        result = task.arguments.get("result")
+        if isinstance(result, np.ndarray) and len(result) > 1 and result[1] > 0:
+            return int(result[1])
+        # Not eagerly executed: estimate from the remaining depth with
+        # a branching factor calibrated on n=12 subtrees.
+        n = int(task.arguments.get("n", 8))
+        j = int(task.arguments.get("j", max(n - 4, 0)))
+        return max(1, int(2.2 ** (n - j)))

@@ -1,0 +1,95 @@
+"""Analytic fork-join models of the *threaded* BLAS libraries.
+
+Figures 11 and 12 compare SMPSs against "Threaded Goto" and "Threaded
+MKL".  Both closed-source libraries parallelise each factorisation /
+multiplication step internally with a fork-join pattern: a serial panel
+(or partition step), a parallel trailing update, and a barrier.  On
+Cholesky's long dependency chains this loses badly — "the MKL
+parallelization does not scale beyond 4 processors and the Goto
+parallelization does not scale beyond 10.  Given the complexity of the
+dependencies, we suspect their implementations are limited by them."
+
+The models below reproduce that failure mode from three per-library
+constants (:mod:`repro.sim.calibration`): barrier cost ``a + b*t``, an
+unparallelised serial fraction of each update, and the library's
+internal blocking.  Matrix multiplication has no inter-step dependency
+chain, so the same model scales smoothly there (Figure 12's "very good
+... smooth response").
+"""
+
+from __future__ import annotations
+
+from .calibration import LIBRARIES, LibraryProfile
+from .machine import MachineConfig
+
+__all__ = ["forkjoin_cholesky_time", "forkjoin_matmul_time"]
+
+
+def _resolve(profile) -> LibraryProfile:
+    if isinstance(profile, str):
+        return LIBRARIES[profile]
+    return profile
+
+
+def forkjoin_cholesky_time(
+    n: int, threads: int, profile, machine: MachineConfig
+) -> float:
+    """Makespan of a threaded-library Cholesky on an n x n matrix."""
+
+    lib = _resolve(profile)
+    nb = lib.internal_block
+    steps = max(1, n // nb)
+    rate = machine.core_peak_flops * lib.efficiency("gemm", nb)
+    barrier = lib.barrier_base + lib.barrier_per_thread * threads if threads > 1 else 0.0
+    # Dependency-limited concurrency: extra threads beyond the cap find
+    # no work between the library's internal synchronisation points.
+    t_eff = min(float(threads), lib.factor_concurrency)
+    total = 0.0
+    for k in range(steps):
+        remaining = n - k * nb
+        below = max(0, remaining - nb)
+        # Panel: serial potrf of the nb x nb diagonal; the column solve
+        # below it is data-parallel over rows (both libraries thread it).
+        panel_flops = nb ** 3 / 3.0 + below * nb * nb / t_eff
+        # Trailing symmetric update (syrk + gemm tiles).
+        trailing_flops = float(below) * below * nb
+        serial = trailing_flops * lib.serial_fraction
+        parallel = trailing_flops - serial
+        step = panel_flops / rate + serial / rate
+        if threads > 1:
+            # 2-D tile partition of the (lower-triangular) trailing update.
+            # The libraries partition the update finer than nb where it
+            # pays, so imbalance is sub-tile: fractional waves with a
+            # floor of one (a step can never beat its longest row).
+            tiles = max(1, (below // nb) * (below // nb + 1) // 2)
+            waves = max(1.0, tiles / t_eff)
+            per_tile = parallel / rate / tiles
+            step += waves * per_tile + 2 * barrier
+        else:
+            step += parallel / rate
+        total += step
+    return total
+
+
+def forkjoin_matmul_time(
+    n: int, threads: int, profile, machine: MachineConfig
+) -> float:
+    """Makespan of a threaded-library GEMM on n x n matrices.
+
+    One parallel region over output tiles; near-perfect scaling apart
+    from partition imbalance and one barrier.
+    """
+
+    lib = _resolve(profile)
+    # GEMM partitions with large internal tiles and has no inter-step
+    # dependency chain, so the factorisation concurrency cap does not
+    # apply ("the Goto and the MKL parallelizations are very good and
+    # present a smooth response", section VI.B).
+    nb = max(lib.internal_block, 512)
+    rate = machine.core_peak_flops * lib.efficiency("gemm", nb)
+    flops = 2.0 * n * n * n
+    tiles = max(1, (n // nb) ** 2)
+    per_tile = flops / rate / tiles
+    waves = -(-tiles // threads)
+    barrier = lib.barrier_base + lib.barrier_per_thread * threads if threads > 1 else 0.0
+    return waves * per_tile + barrier

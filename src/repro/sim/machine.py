@@ -1,0 +1,64 @@
+"""Machine description for the simulator.
+
+Defaults model the evaluation platform of section VI: "an SGI Altix
+computer ... 32 memory nodes, each with 2 dual core 1.6 GHz Itanium2
+processors ... Tests have been run inside a cpuset of 32 cores on 8
+nodes".  Itanium2 retires 4 flops/cycle, giving the 204.8 Gflops
+32-core peak drawn across Figures 8 and 11-13.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["MachineConfig", "ALTIX_32"]
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Virtual machine parameters (all times in seconds, sizes in bytes)."""
+
+    cores: int = 32
+    ghz: float = 1.6
+    flops_per_cycle: float = 4.0
+    #: Sustained per-core memory bandwidth.  8 Altix nodes share a NUMA
+    #: fabric; 4 cores per node on ~6.4 GB/s/node gives ~1.6 GB/s/core.
+    core_bandwidth: float = 1.6e9
+    #: Per-core last-level cache capacity (Itanium2 Madison: 6 MB L3).
+    cache_bytes: int = 6 * 1024 * 1024
+
+    # --- runtime overheads (the costs section VI's block-size
+    # discussion attributes to "managing so many tasks") ----------------
+    #: Main-thread dependency analysis + graph insertion, per task.
+    task_add_overhead: float = 3.0e-6
+    #: Worker-side dispatch + completion bookkeeping, per task.
+    task_dispatch_overhead: float = 1.5e-6
+    #: Extra cost of a steal (remote deque access, cache disturbance).
+    steal_overhead: float = 2.0e-6
+    #: Allocation cost of a renamed FRESH buffer.
+    rename_alloc_overhead: float = 2.0e-6
+    #: Graph-size blocking condition of the main thread.
+    max_pending_tasks: int = 10_000
+
+    @property
+    def core_peak_flops(self) -> float:
+        return self.ghz * 1e9 * self.flops_per_cycle
+
+    @property
+    def peak_flops(self) -> float:
+        return self.cores * self.core_peak_flops
+
+    @property
+    def peak_gflops(self) -> float:
+        return self.peak_flops / 1e9
+
+    def with_cores(self, cores: int) -> "MachineConfig":
+        """Same machine restricted to *cores* cores (scaling sweeps)."""
+
+        if cores < 1:
+            raise ValueError("need at least one core")
+        return replace(self, cores=cores)
+
+
+#: The section VI evaluation platform.
+ALTIX_32 = MachineConfig()

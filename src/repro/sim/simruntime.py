@@ -1,0 +1,206 @@
+"""Simulated SMPSs runtime: the paper's execution model in virtual time.
+
+Implements the same active-runtime protocol as the threaded backend, so
+the *unmodified* annotated programs of :mod:`repro.apps` run under it:
+the main program executes natively (its control flow is real), but each
+task submission costs virtual main-thread time (dependency analysis +
+graph insertion), workers consume the graph concurrently in virtual
+time, and the main thread helps when it hits the graph-size window or a
+barrier — the full section III execution model.
+
+Because the tracker sees tasks *finish* as virtual time advances,
+renaming decisions (rename vs no hazard) happen with the same
+timing-dependence the real runtime exhibits.
+
+Memory stays bounded: the graph retires finished nodes, so simulating a
+374,272-task Cholesky holds only the in-flight window.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..core import api as _api
+from ..core.dependencies import DependencyTracker, TrackerConfig
+from ..core.graph import TaskGraph
+from ..core.invocation import instantiate
+from ..core.scheduler import SmpssScheduler
+from ..core.task import TaskInstance, TaskState, reset_task_ids
+from .cost import CostModel
+from .engine import SimResult, VirtualMachine
+from .machine import ALTIX_32, MachineConfig
+
+__all__ = ["SimulatedRuntime", "simulate_program"]
+
+
+class SimulatedRuntime:
+    """Active-runtime protocol over the discrete-event engine."""
+
+    def __init__(
+        self,
+        machine: MachineConfig = ALTIX_32,
+        cost_model: Optional[CostModel] = None,
+        scheduler_factory: Callable = SmpssScheduler,
+        enable_renaming: bool = True,
+        rename_inout: bool = True,
+        execute_bodies: bool = False,
+        constants: Optional[dict] = None,
+        tracer=None,
+        trace: bool = False,
+    ):
+        self.machine = machine
+        self.cost = cost_model or CostModel(machine)
+        reset_task_ids()
+        self.graph = TaskGraph(keep_finished=False)
+        self.tracker = DependencyTracker(
+            self.graph,
+            config=TrackerConfig(
+                enable_renaming=enable_renaming, rename_inout=rename_inout
+            ),
+        )
+        if trace and tracer is None:
+            from ..core.tracing import Tracer
+
+            tracer = Tracer()  # clock wired to virtual time below
+        self.tracer = tracer
+        self.scheduler = scheduler_factory(machine.cores, tracer=tracer)
+        self.vm = VirtualMachine(machine, self.graph, self.scheduler, self.cost, tracer)
+        if tracer is not None:
+            self.vm.wire_tracer(tracer)
+        self.execute_bodies = execute_bodies
+        self.constants = constants or {}
+        self.main_clock = 0.0
+        self.tasks_submitted = 0
+        self._entered = False
+        self._in_task = False
+
+    def in_task_body(self) -> bool:
+        return self._in_task
+
+    # ------------------------------------------------------------------
+    # active-runtime protocol
+    # ------------------------------------------------------------------
+    def submit(self, definition, args: tuple, kwargs: dict) -> TaskInstance:
+        task = instantiate(definition, args, kwargs, self.constants)
+        # Let workers catch up to the main thread's clock first, so
+        # hazard checks see what has genuinely finished by now.
+        self.vm.process_until(self.main_clock)
+        self.tracker.analyze(task)
+        if self.execute_bodies:
+            # Data-dependent control flow (e.g. LU pivoting) needs real
+            # values; program order makes immediate execution valid.
+            from ..core.invocation import resolve_call_values
+
+            values = resolve_call_values(task)
+            self._in_task = True
+            try:
+                task.definition.func(*values)
+            finally:
+                self._in_task = False
+        self.main_clock += self.machine.task_add_overhead
+        self.tasks_submitted += 1
+        if self.tracer:
+            self.vm.now = self.main_clock
+            self.tracer.task_added(task)
+        if task.num_pending_deps == 0:
+            self.scheduler.push_new(task)
+            self.vm.dispatch_idle(self.main_clock)
+        if self.graph.pending_count > self.machine.max_pending_tasks:
+            self._help_while(
+                lambda: self.graph.pending_count > self.machine.max_pending_tasks
+            )
+        return task
+
+    def barrier(self) -> None:
+        self._help_while(lambda: self.graph.pending_count > 0)
+        self.main_clock = max(self.main_clock, self.vm.last_finish)
+        self.tracker.reset()
+
+    wait_all = barrier
+
+    def wait_for(self, task: TaskInstance) -> None:
+        self._help_while(lambda: task.state is not TaskState.FINISHED)
+
+    def acquire(self, obj):
+        if self.tracker.is_tracked(obj):
+            datum = self.tracker.datum_for(obj)
+            chain = datum.chains.get(None)
+            if chain is not None and chain.current.producer is not None:
+                producer = chain.current.producer
+                if producer.state is not TaskState.FINISHED:
+                    self.wait_for(producer)
+                if self.execute_bodies:
+                    return chain.current.resolve_storage()
+        return obj
+
+    # ------------------------------------------------------------------
+    # main-thread helping (the section III blocking conditions)
+    # ------------------------------------------------------------------
+    def _help_while(self, predicate: Callable[[], bool]) -> None:
+        while predicate():
+            self.vm.process_until(self.main_clock)
+            if not predicate():
+                return
+            task, stolen = self.vm.pop_for(0)
+            if task is not None:
+                finish = self.vm.start_task(0, task, self.main_clock, stolen)
+                self.vm.process_until(finish)
+                self.main_clock = finish
+                continue
+            next_event = self.vm.next_event_time()
+            if next_event is None:
+                if self.graph.pending_count > 0:
+                    raise RuntimeError(
+                        "simulation stalled: pending tasks but no events"
+                    )
+                return
+            self.main_clock = max(self.main_clock, next_event)
+            self.vm.process_until(self.main_clock)
+
+    # ------------------------------------------------------------------
+    # session management
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "SimulatedRuntime":
+        _api.push_runtime(self)
+        self._entered = True
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._entered:
+            _api.pop_runtime(self)
+            self._entered = False
+
+    def result(self) -> SimResult:
+        res = self.vm.result(self.main_clock)
+        res.extras["tasks_submitted"] = self.tasks_submitted
+        res.extras["renames"] = self.graph.stats.renames
+        return res
+
+
+def simulate_program(
+    main: Callable,
+    *args,
+    machine: MachineConfig = ALTIX_32,
+    cost_model: Optional[CostModel] = None,
+    scheduler_factory: Callable = SmpssScheduler,
+    enable_renaming: bool = True,
+    execute_bodies: bool = False,
+    **kwargs,
+) -> SimResult:
+    """Simulate ``main(*args, **kwargs)`` and return the result.
+
+    A trailing barrier is implied (every program of the paper ends in
+    one before its timing is read).
+    """
+
+    runtime = SimulatedRuntime(
+        machine=machine,
+        cost_model=cost_model,
+        scheduler_factory=scheduler_factory,
+        enable_renaming=enable_renaming,
+        execute_bodies=execute_bodies,
+    )
+    with runtime:
+        main(*args, **kwargs)
+        runtime.barrier()
+    return runtime.result()

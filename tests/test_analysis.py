@@ -1,0 +1,214 @@
+"""Tests for post-mortem analysis and simulated-trace integration."""
+
+import numpy as np
+import pytest
+
+from repro import SmpssRuntime, css_task
+from repro.core.analysis import (
+    average_parallelism,
+    greedy_bounds,
+    load_balance,
+    parallelism_profile,
+    task_type_summary,
+    work_and_span,
+)
+from repro.core.tracing import Tracer
+
+
+@css_task("inout(a)")
+def bump(a):
+    a += 1
+
+
+@css_task("input(a) output(b)")
+def copy_t(a, b):
+    b[...] = a
+
+
+def synthetic_tracer(intervals):
+    """Tracer with hand-built task intervals."""
+
+    tracer = Tracer(clock=lambda: 0.0)
+
+    class _T:
+        def __init__(self, task_id, name):
+            self.task_id = task_id
+            self.name = name
+
+    from repro.core.tracing import TraceEvent, EventKind
+
+    for task_id, (start, end, thread, name) in enumerate(intervals, 1):
+        tracer.events.append(TraceEvent(start, EventKind.TASK_START, task_id, name, thread))
+        tracer.events.append(TraceEvent(end, EventKind.TASK_END, task_id, name, thread))
+    return tracer
+
+
+class TestSummaries:
+    def test_task_type_summary(self):
+        tracer = synthetic_tracer([
+            (0.0, 1.0, 0, "a"),
+            (0.0, 3.0, 1, "a"),
+            (1.0, 2.0, 0, "b"),
+        ])
+        summary = task_type_summary(tracer)
+        assert summary["a"].count == 2
+        assert summary["a"].total_time == pytest.approx(4.0)
+        assert summary["a"].mean_time == pytest.approx(2.0)
+        assert summary["a"].min_time == 1.0 and summary["a"].max_time == 3.0
+        assert summary["b"].count == 1
+
+    def test_average_parallelism(self):
+        tracer = synthetic_tracer([
+            (0.0, 2.0, 0, "a"),
+            (0.0, 2.0, 1, "a"),
+        ])
+        assert average_parallelism(tracer) == pytest.approx(2.0)
+
+    def test_load_balance_perfect(self):
+        tracer = synthetic_tracer([
+            (0.0, 2.0, 0, "a"),
+            (0.0, 2.0, 1, "a"),
+        ])
+        assert load_balance(tracer) == pytest.approx(1.0)
+
+    def test_load_balance_skewed(self):
+        tracer = synthetic_tracer([
+            (0.0, 3.0, 0, "a"),
+            (0.0, 1.0, 1, "a"),
+        ])
+        assert load_balance(tracer) == pytest.approx((2.0) / 3.0)
+
+    def test_empty_tracer(self):
+        tracer = synthetic_tracer([])
+        assert average_parallelism(tracer) == 0.0
+        assert load_balance(tracer) == 1.0
+        assert parallelism_profile(tracer) == []
+
+
+class TestParallelismProfile:
+    def test_profile_counts(self):
+        tracer = synthetic_tracer([
+            (0.0, 4.0, 0, "a"),
+            (1.0, 3.0, 1, "a"),
+        ])
+        profile = parallelism_profile(tracer, samples=4)
+        times = [t for t, _ in profile]
+        counts = [c for _t, c in profile]
+        assert times[0] == 0.0 and times[-1] == 4.0
+        assert counts[0] == 1  # only the first task at t=0
+        assert counts[2] == 2  # both at t=2
+        assert counts[-1] == 0  # everything ended by t=4 (closed ends)
+
+
+class TestWorkSpan:
+    def test_work_span_on_recorded_graph(self):
+        from repro.core.recorder import record_program
+
+        data = np.zeros(4)
+
+        def program():
+            for _ in range(5):
+                bump(data)  # a serial chain
+
+        prog = record_program(program, execute="skip")
+        work, span, parallelism = work_and_span(prog.graph, lambda t: 2.0)
+        assert work == pytest.approx(10.0)
+        assert span == pytest.approx(10.0)  # chain: span == work
+        assert parallelism == pytest.approx(1.0)
+
+    def test_work_span_parallel_graph(self):
+        from repro.core.recorder import record_program
+
+        def program():
+            for _ in range(6):
+                bump(np.zeros(1))  # independent tasks
+
+        prog = record_program(program, execute="skip")
+        work, span, parallelism = work_and_span(prog.graph, lambda t: 1.0)
+        assert (work, span, parallelism) == (6.0, 1.0, 6.0)
+
+    def test_greedy_bounds(self):
+        lower, upper = greedy_bounds(work=100.0, span=10.0, cores=8)
+        assert lower == pytest.approx(12.5)
+        assert upper == pytest.approx(22.5)
+        with pytest.raises(ValueError):
+            greedy_bounds(1.0, 1.0, 0)
+
+    def test_simulated_makespan_within_greedy_bounds(self):
+        """The section III policy is greedy: check Brent's bounds."""
+
+        from repro.apps.cholesky import cholesky_hyper
+        from repro.blas.hypermatrix import HyperMatrix
+        from repro.core.recorder import record_program
+        from repro.sim import ALTIX_32, CostModel, simulate_program
+
+        def sym(n):
+            hm = HyperMatrix(n, 1, np.float32)
+            for i in range(n):
+                for j in range(n):
+                    hm[i, j] = np.zeros((1, 1), np.float32)
+            return hm
+
+        cores = 8
+        machine = ALTIX_32.with_cores(cores)
+        cost = CostModel(machine, block_size=256)
+        res = simulate_program(
+            cholesky_hyper, sym(10), machine=machine,
+            cost_model=CostModel(machine, block_size=256),
+        )
+        prog = record_program(cholesky_hyper, sym(10), execute="skip")
+        work, span, _p = work_and_span(
+            prog.graph, lambda t: cost.duration(t, None)
+        )
+        lower, upper = greedy_bounds(work, span, cores)
+        # Allow a margin: the simulator adds main-thread generation and
+        # cache effects the plain weights don't include.
+        assert res.makespan >= lower * 0.8
+        assert res.makespan <= upper * 1.5
+
+
+class TestSimulatedTracing:
+    def test_virtual_time_trace(self):
+        from repro.apps.cholesky import cholesky_hyper
+        from repro.blas.hypermatrix import HyperMatrix
+        from repro.sim import ALTIX_32, CostModel, SimulatedRuntime
+
+        hm = HyperMatrix(4, 1, np.float32)
+        for i in range(4):
+            for j in range(4):
+                hm[i, j] = np.zeros((1, 1), np.float32)
+        machine = ALTIX_32.with_cores(4)
+        runtime = SimulatedRuntime(
+            machine=machine,
+            cost_model=CostModel(machine, block_size=128),
+            trace=True,
+        )
+        with runtime:
+            cholesky_hyper(hm)
+            runtime.barrier()
+        tracer = runtime.tracer
+        intervals = tracer.task_intervals()
+        assert len(intervals) == 20  # hyper_task_count(4)["total"]
+        # Virtual timestamps are consistent with the simulated makespan.
+        result = runtime.result()
+        assert max(e for _s, e, *_ in intervals.values()) == pytest.approx(
+            result.makespan, rel=1e-9
+        )
+        # Analyses work on virtual traces too.
+        assert average_parallelism(tracer) > 1.0
+        assert 0 < load_balance(tracer) <= 1.0
+        prv = tracer.to_paraver()
+        assert prv.startswith("#Paraver")
+
+    def test_threaded_trace_analysis_end_to_end(self):
+        data = np.zeros(8)
+        outs = [np.zeros(8) for _ in range(12)]
+        rt = SmpssRuntime(num_workers=2, trace=True)
+        with rt:
+            for out in outs:
+                copy_t(data, out)
+            rt.barrier()
+        summary = task_type_summary(rt.tracer)
+        assert summary["copy_t"].count == 12
+        profile = parallelism_profile(rt.tracer, samples=10)
+        assert len(profile) == 11

@@ -1,0 +1,296 @@
+"""Tests for the paper's application codes (sections IV-VI).
+
+Each app must produce identical results sequentially (no runtime), under
+eager recording, and under the threaded runtime — the paper's
+dual-compilation property.
+"""
+
+import numpy as np
+import pytest
+import scipy.linalg as sla
+
+from repro import RecordingRuntime, SmpssRuntime, record_program
+from repro.apps import cholesky, lu, matmul, multisort, nqueens, strassen
+from repro.blas.hypermatrix import HyperMatrix
+
+
+class TestMatmulVariants:
+    def _inputs(self, n, m, seed=0):
+        a = HyperMatrix.random(n, m, np.float64, seed=seed)
+        b = HyperMatrix.random(n, m, np.float64, seed=seed + 1)
+        c = HyperMatrix.zeros(n, m, np.float64)
+        return a, b, c
+
+    def test_dense_sequential(self):
+        a, b, c = self._inputs(3, 8)
+        matmul.matmul_dense(a, b, c)
+        assert np.allclose(c.to_dense(), a.to_dense() @ b.to_dense())
+
+    @pytest.mark.parametrize("order", ["ijk", "ikj", "jik", "jki", "kij", "kji"])
+    def test_any_loop_order_correct(self, order):
+        """'Note that any ordering of the three nested loops produces
+        correct results.'"""
+
+        a, b, c = self._inputs(3, 4, seed=order.__hash__() % 100)
+        with SmpssRuntime(num_workers=2) as rt:
+            matmul.matmul_dense(a, b, c, loop_order=order)
+            rt.barrier()
+        assert np.allclose(c.to_dense(), a.to_dense() @ b.to_dense())
+
+    def test_bad_loop_order(self):
+        a, b, c = self._inputs(2, 4)
+        with pytest.raises(ValueError):
+            matmul.matmul_dense(a, b, c, loop_order="iij")
+
+    def test_sparse_allocates_only_needed_blocks(self):
+        a = HyperMatrix.random_sparse(5, 4, 0.3, np.float64, seed=2)
+        b = HyperMatrix.random_sparse(5, 4, 0.3, np.float64, seed=3)
+        c = HyperMatrix(5, 4, np.float64)
+        matmul.matmul_sparse(a, b, c)
+        dense = a.to_dense() @ b.to_dense()
+        assert np.allclose(c.to_dense(), dense)
+        # A block is present iff some k links A and B there.
+        for i in range(5):
+            for j in range(5):
+                needed = any(
+                    a[i][k] is not None and b[k][j] is not None for k in range(5)
+                )
+                assert (c[i][j] is not None) == needed
+
+    def test_sparse_empty_inputs(self):
+        a = HyperMatrix(3, 4)
+        b = HyperMatrix(3, 4)
+        c = HyperMatrix(3, 4)
+        matmul.matmul_sparse(a, b, c)
+        assert c.block_count() == 0
+
+    def test_flat_threaded(self):
+        rng = np.random.default_rng(5)
+        af = rng.standard_normal((32, 32))
+        bf = rng.standard_normal((32, 32))
+        cf = np.zeros((32, 32))
+        with SmpssRuntime(num_workers=2) as rt:
+            matmul.matmul_flat(af, bf, cf, 8)
+            rt.barrier()
+        assert np.allclose(cf, af @ bf)
+
+    def test_flat_size_check(self):
+        with pytest.raises(ValueError):
+            matmul.matmul_flat(np.zeros((10, 10)), np.zeros((10, 10)),
+                               np.zeros((10, 10)), 3)
+
+
+class TestCholeskyVariants:
+    def _spd(self, size, seed=0):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((size, size))
+        return x @ x.T + size * np.eye(size)
+
+    def test_hyper_sequential(self):
+        spd = self._spd(32)
+        hm = HyperMatrix.from_dense(spd, 8)
+        cholesky.cholesky_hyper(hm)
+        assert np.allclose(
+            hm.lower_to_dense(), sla.cholesky(spd, lower=True), atol=1e-8
+        )
+
+    def test_flat_eager_recording(self):
+        spd = self._spd(24, seed=4)
+        work = np.array(spd)
+        recorder = RecordingRuntime(execute="eager")
+        with recorder:
+            cholesky.cholesky_flat(work, 8)
+            recorder.barrier()
+        assert np.allclose(np.tril(work), sla.cholesky(spd, lower=True), atol=1e-8)
+
+    def test_flat_divisibility_check(self):
+        with pytest.raises(ValueError):
+            cholesky.cholesky_flat(np.eye(10), 3)
+
+    def test_task_count_components(self):
+        counts = cholesky.hyper_task_count(6)
+        assert counts == {
+            "sgemm_nt_t": 20, "ssyrk_t": 15, "spotrf_t": 6,
+            "strsm_t": 15, "total": 56,
+        }
+
+
+class TestStrassen:
+    def test_matches_numpy_sequential(self):
+        a = HyperMatrix.random(2, 8, np.float64, seed=0)
+        b = HyperMatrix.random(2, 8, np.float64, seed=1)
+        c = HyperMatrix.zeros(2, 8, np.float64)
+        strassen.strassen_multiply(a, b, c)
+        assert np.allclose(c.to_dense(), a.to_dense() @ b.to_dense(), atol=1e-10)
+
+    def test_power_of_two_required(self):
+        a = HyperMatrix.random(3, 4)
+        with pytest.raises(ValueError, match="power-of-two"):
+            strassen.strassen_multiply(a, a, a)
+
+    def test_task_count_formula_matches_recording(self):
+        for n_blocks in (2, 4):
+            a = HyperMatrix.random(n_blocks, 2, np.float64, seed=0)
+            b = HyperMatrix.random(n_blocks, 2, np.float64, seed=1)
+            c = HyperMatrix.zeros(n_blocks, 2, np.float64)
+            prog = record_program(
+                strassen.strassen_multiply, a, b, c, execute="skip"
+            )
+            expected = strassen.strassen_task_count(n_blocks)
+            assert prog.task_count == expected["total"]
+            assert prog.graph.stats.tasks_by_name["smul_t"] == expected["smul_t"]
+
+    def test_renaming_happens(self):
+        """Section VI.C: 'an intensive renaming test case'."""
+
+        a = HyperMatrix.random(4, 2, np.float64, seed=0)
+        b = HyperMatrix.random(4, 2, np.float64, seed=1)
+        c = HyperMatrix.zeros(4, 2, np.float64)
+        prog = record_program(strassen.strassen_multiply, a, b, c, execute="skip")
+        assert prog.graph.stats.renames > 20
+
+    def test_flops_fewer_than_classic_beyond_crossover(self):
+        """Strassen's formula gives < 2 n^3 for enough levels."""
+
+        classic = 2 * (16 * 64) ** 3
+        assert strassen.strassen_flops(16, 64) < classic
+
+
+class TestMultisort:
+    def test_sequential_path(self):
+        rng = np.random.default_rng(0)
+        data = rng.standard_normal(2000).astype(np.float32)
+        expected = np.sort(data)
+        multisort.multisort(data, quicksize=64)
+        assert (data == expected).all()
+
+    def test_small_array_single_task(self):
+        data = np.array([3.0, 1.0, 2.0], dtype=np.float32)
+        multisort.multisort(data, quicksize=8)
+        assert (data == np.array([1.0, 2.0, 3.0], dtype=np.float32)).all()
+
+    def test_empty_array(self):
+        data = np.empty(0, np.float32)
+        multisort.multisort(data)
+        assert len(data) == 0
+
+    def test_tmp_shape_check(self):
+        with pytest.raises(ValueError):
+            multisort.multisort(np.zeros(10, np.float32), np.zeros(5, np.float32))
+
+    def test_quicksize_floor(self):
+        with pytest.raises(ValueError):
+            multisort.multisort(np.zeros(10, np.float32), quicksize=2)
+
+    def test_with_duplicates_and_sorted_input(self):
+        data = np.concatenate(
+            [np.zeros(100), np.arange(100), np.arange(100)[::-1]]
+        ).astype(np.float32)
+        expected = np.sort(data)
+        with SmpssRuntime(num_workers=2):
+            multisort.multisort(data, quicksize=16)
+        assert (data == expected).all()
+
+    def test_recursive_merge_topology_task_counts(self):
+        data = np.empty(1 << 14, np.float32)
+        tmp = np.empty(1 << 14, np.float32)
+        prog = record_program(
+            multisort.multisort_recursive_merge_topology, data, tmp, 1 << 12,
+            execute="skip",
+        )
+        names = prog.graph.stats.tasks_by_name
+        assert names["seqquick_t"] == 4  # one level of 4-way split
+        assert names["seqmerge_piece_t"] > 3
+
+
+class TestNQueens:
+    @pytest.mark.parametrize("n", [4, 5, 6, 7, 8])
+    def test_sequential_counts(self, n):
+        solutions, nodes = nqueens.nqueens_sequential(n)
+        assert solutions == nqueens.KNOWN_SOLUTIONS[n]
+        assert nodes >= solutions
+
+    @pytest.mark.parametrize("n", [6, 8])
+    def test_smpss_version_counts(self, n):
+        assert nqueens.nqueens_smpss_count(n) == nqueens.KNOWN_SOLUTIONS[n]
+
+    @pytest.mark.parametrize("n", [6, 8])
+    def test_duplicating_version_counts(self, n):
+        assert nqueens.nqueens_duplicating_count(n) == nqueens.KNOWN_SOLUTIONS[n]
+
+    def test_smpss_under_eager_recording(self):
+        recorder = RecordingRuntime(execute="eager")
+        with recorder:
+            count = nqueens.nqueens_smpss_count(7)
+        assert count == nqueens.KNOWN_SOLUTIONS[7]
+
+    def test_smpss_renames_the_solution_array(self):
+        """'The runtime takes care of it by renaming the array as
+        needed' (section VI.E)."""
+
+        recorder = RecordingRuntime(execute="eager")
+        with recorder:
+            nqueens.nqueens_smpss(6)
+        assert recorder.graph.stats.renames > 0
+
+    def test_leaf_tasks_not_serialised(self):
+        """Sibling leaf tasks must not depend on one another."""
+
+        prog = record_program(lambda: nqueens.nqueens_smpss(6), execute="eager")
+        leaves = [t for t in prog.graph if t.name == "nqueens_task"]
+        assert len(leaves) > 1
+        for a in leaves:
+            for b in leaves:
+                assert b not in a.successors
+
+
+class TestLU:
+    def test_sequential_reconstruction(self):
+        rng = np.random.default_rng(0)
+        original = rng.standard_normal((32, 32))
+        work = np.array(original)
+        ipiv = lu.lu_blocked(work, 8)
+        assert np.allclose(lu.lu_reconstruct(work, ipiv), original, atol=1e-10)
+
+    def test_matches_scipy_solution(self):
+        rng = np.random.default_rng(1)
+        a = rng.standard_normal((24, 24))
+        b = rng.standard_normal(24)
+        work = np.array(a)
+        ipiv = lu.lu_blocked(work, 8)
+        # Solve via the computed factors.
+        x = np.array(b)
+        for row in range(24):  # apply P
+            p = int(ipiv[row])
+            if p != row:
+                x[[row, p]] = x[[p, row]]
+        l = np.tril(work, -1) + np.eye(24)
+        u = np.triu(work)
+        y = sla.solve_triangular(l, x, lower=True, unit_diagonal=True)
+        solution = sla.solve_triangular(u, y)
+        assert np.allclose(a @ solution, b, atol=1e-8)
+
+    def test_task_count_formula(self):
+        rng = np.random.default_rng(3)
+        work = rng.standard_normal((24, 24))
+        prog = record_program(lu.lu_blocked, work, 8, execute="eager")
+        assert prog.task_count == lu.lu_task_count(3)["total"]
+
+    def test_singular_matrix_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            lu.lu_blocked(np.zeros((8, 8)), 4)
+
+    def test_shape_checks(self):
+        with pytest.raises(ValueError):
+            lu.lu_blocked(np.zeros((8, 6)), 2)
+        with pytest.raises(ValueError):
+            lu.lu_blocked(np.zeros((9, 9)), 4)
+
+    def test_parallelism_exists(self):
+        """Trailing tiles of distinct block columns are independent."""
+
+        rng = np.random.default_rng(4)
+        work = rng.standard_normal((32, 32))
+        prog = record_program(lu.lu_blocked, work, 8, execute="eager")
+        cp = prog.graph.critical_path_length()
+        assert cp < prog.task_count  # not a chain

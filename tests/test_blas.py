@@ -1,0 +1,198 @@
+"""Tests for the BLAS substrate: kernels vs naive references."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.blas import kernels, reference
+from repro.blas.flat import alloc_block, from_blocked, get_block, put_block, to_blocked
+from repro.blas.hypermatrix import HyperMatrix
+from repro.blas.kernels import KernelError
+
+
+def rand(shape, seed):
+    return np.random.default_rng(seed).standard_normal(shape)
+
+
+class TestGemm:
+    def test_matches_reference(self):
+        a, b, c = rand((4, 3), 0), rand((3, 5), 1), rand((4, 5), 2)
+        expected = reference.ref_gemm(a, b, c)
+        kernels.gemm(a, b, c)
+        assert np.allclose(c, expected)
+
+    def test_shape_check(self):
+        with pytest.raises(KernelError):
+            kernels.gemm(np.ones((2, 3)), np.ones((2, 3)), np.ones((2, 2)))
+
+    @given(st.integers(1, 6), st.integers(1, 6), st.integers(1, 6), st.integers(0, 99))
+    @settings(max_examples=25, deadline=None)
+    def test_property_random_shapes(self, m, n, k, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal((m, k))
+        b = rng.standard_normal((k, n))
+        c = rng.standard_normal((m, n))
+        expected = reference.ref_gemm(a, b, c)
+        kernels.gemm(a, b, c)
+        assert np.allclose(c, expected)
+
+
+class TestGemmNt:
+    def test_matches_reference(self):
+        a, b, c = rand((4, 3), 0), rand((5, 3), 1), rand((4, 5), 2)
+        expected = reference.ref_gemm_nt(a, b, c)
+        kernels.gemm_nt(a, b, c)
+        assert np.allclose(c, expected)
+
+
+class TestSyrk:
+    def test_matches_reference(self):
+        a, b = rand((4, 3), 0), rand((4, 4), 1)
+        expected = reference.ref_syrk(a, b)
+        kernels.syrk(a, b)
+        assert np.allclose(b, expected)
+
+
+class TestTrsm:
+    def test_matches_reference(self):
+        l = np.tril(rand((4, 4), 0)) + 4 * np.eye(4)
+        b = rand((6, 4), 1)
+        expected = reference.ref_trsm(l, b)
+        work = np.array(b)
+        kernels.trsm(l, work)
+        assert np.allclose(work, expected, atol=1e-9)
+
+    def test_solves_the_system(self):
+        l = np.tril(rand((5, 5), 2)) + 5 * np.eye(5)
+        b = rand((3, 5), 3)
+        x = np.array(b)
+        kernels.trsm(l, x)
+        assert np.allclose(x @ l.T, b, atol=1e-9)
+
+
+class TestPotrf:
+    def test_matches_reference(self):
+        x = rand((5, 5), 4)
+        spd = x @ x.T + 5 * np.eye(5)
+        expected = reference.ref_potrf(spd)
+        work = np.array(spd)
+        kernels.potrf(work)
+        assert np.allclose(np.tril(work), expected, atol=1e-9)
+
+    def test_factor_reconstructs(self):
+        x = rand((6, 6), 5)
+        spd = x @ x.T + 6 * np.eye(6)
+        work = np.array(spd)
+        kernels.potrf(work)
+        l = np.tril(work)
+        assert np.allclose(l @ l.T, spd, atol=1e-8)
+
+    @given(st.integers(2, 8), st.integers(0, 50))
+    @settings(max_examples=20, deadline=None)
+    def test_property_reconstruction(self, size, seed):
+        x = np.random.default_rng(seed).standard_normal((size, size))
+        spd = x @ x.T + size * np.eye(size)
+        work = np.array(spd)
+        kernels.potrf(work)
+        l = np.tril(work)
+        assert np.allclose(l @ l.T, spd, atol=1e-7)
+
+
+class TestElementwise:
+    def test_add_sub_copy(self):
+        a, b = rand((3, 3), 0), rand((3, 3), 1)
+        c = np.empty((3, 3))
+        kernels.geadd(a, b, c)
+        assert np.allclose(c, a + b)
+        kernels.gesub(a, b, c)
+        assert np.allclose(c, a - b)
+        kernels.gecopy(a, c)
+        assert np.allclose(c, a)
+
+
+class TestFlops:
+    def test_known_counts(self):
+        assert kernels.flops_of("gemm", 4) == 128
+        assert kernels.flops_of("geadd", 3) == 9
+        assert kernels.flops_of("gecopy", 100) == 0
+
+    def test_unknown_kernel(self):
+        with pytest.raises(KernelError):
+            kernels.flops_of("nope", 4)
+
+
+class TestLuReference:
+    def test_lu_reconstructs(self):
+        a = rand((7, 7), 9)
+        l, u, perm = reference.ref_lu_partial_pivot(a)
+        assert np.allclose(l @ u, a[perm], atol=1e-9)
+
+
+class TestHyperMatrix:
+    def test_from_to_dense_roundtrip(self):
+        dense = rand((12, 12), 0).astype(np.float32)
+        hm = HyperMatrix.from_dense(dense, 4)
+        assert hm.n == 3 and hm.m == 4
+        assert np.array_equal(hm.to_dense(), dense)
+
+    def test_indexing_styles(self):
+        hm = HyperMatrix.zeros(2, 3)
+        assert hm[0][1] is hm[0, 1]
+
+    def test_alloc_block_idempotent(self):
+        hm = HyperMatrix(2, 3)
+        first = hm.alloc_block(0, 0)
+        assert hm.alloc_block(0, 0) is first
+
+    def test_sparse_density(self):
+        hm = HyperMatrix.random_sparse(10, 2, density=0.0, seed=0)
+        assert hm.block_count() == 0
+        hm = HyperMatrix.random_sparse(10, 2, density=1.0, seed=0)
+        assert hm.block_count() == 100
+
+    def test_spd_is_positive_definite(self):
+        hm = HyperMatrix.random_spd(3, 4, seed=1)
+        eigenvalues = np.linalg.eigvalsh(hm.to_dense())
+        assert (eigenvalues > 0).all()
+
+    def test_block_shape_validation(self):
+        hm = HyperMatrix(2, 3)
+        with pytest.raises(ValueError):
+            hm[0, 0] = np.zeros((4, 4))
+
+    def test_divisibility_check(self):
+        with pytest.raises(ValueError, match="divisible"):
+            HyperMatrix.from_dense(np.zeros((10, 10)), 3)
+
+    def test_copy_is_deep(self):
+        hm = HyperMatrix.zeros(2, 2)
+        dup = hm.copy()
+        dup[0][0][0, 0] = 5.0
+        assert hm[0][0][0, 0] == 0.0
+
+    def test_lower_to_dense(self):
+        hm = HyperMatrix.from_dense(np.ones((4, 4), np.float32), 2)
+        lower = hm.lower_to_dense()
+        assert np.array_equal(lower, np.tril(np.ones((4, 4), np.float32)))
+
+
+class TestFlatHelpers:
+    def test_get_put_roundtrip(self):
+        flat = rand((8, 8), 0).astype(np.float32)
+        block = alloc_block(4, np.float32)
+        get_block(1, 0, flat, block)
+        assert np.array_equal(block, flat[4:8, 0:4])
+        block[...] = 7.0
+        put_block(1, 0, block, flat)
+        assert (flat[4:8, 0:4] == 7.0).all()
+
+    def test_to_from_blocked(self):
+        flat = rand((6, 6), 1).astype(np.float32)
+        grid = to_blocked(flat, 2)
+        out = np.zeros_like(flat)
+        from_blocked(grid, out)
+        assert np.array_equal(out, flat)
+
+    def test_to_blocked_divisibility(self):
+        with pytest.raises(ValueError):
+            to_blocked(np.zeros((5, 5)), 2)

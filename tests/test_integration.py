@@ -1,0 +1,222 @@
+"""Integration tests: multi-phase programs, pipeline mixes, full stack."""
+
+import numpy as np
+import pytest
+import scipy.linalg as sla
+
+from repro import SmpssRuntime, css_task
+from repro.apps.cholesky import cholesky_hyper
+from repro.apps.matmul import matmul_dense
+from repro.apps.multisort import multisort
+from repro.blas.hypermatrix import HyperMatrix
+
+
+class TestMultiPhase:
+    def test_factor_then_solve_pipeline(self):
+        """The paper's section VII.D motivation: 'a real program may
+        perform a Cholesky factorization and use the result in another
+        operation' — tasks of the second phase start as the factor
+        blocks become available, with no barrier in between."""
+
+        n_blocks, m = 4, 16
+        size = n_blocks * m
+        hm = HyperMatrix.random_spd(n_blocks, m, seed=3)
+        spd = hm.to_dense()
+        rhs = np.random.default_rng(0).standard_normal(size)
+
+        # Forward substitution on blocks: y = L^-1 b, consuming L tiles.
+        y_parts = [np.array(rhs[i * m:(i + 1) * m]) for i in range(n_blocks)]
+
+        @css_task("input(l, y_prev) inout(y)")
+        def eliminate(l, y_prev, y):
+            y -= l @ y_prev
+
+        @css_task("input(l) inout(y)")
+        def solve_diag(l, y):
+            y[...] = sla.solve_triangular(l, y, lower=True, check_finite=False)
+
+        with SmpssRuntime(num_workers=3, keep_graph=True) as rt:
+            cholesky_hyper(hm)  # phase 1: no barrier before phase 2
+            for i in range(n_blocks):
+                for j in range(i):
+                    eliminate(hm[i][j], y_parts[j], y_parts[i])
+                solve_diag(hm[i][i], y_parts[i])
+            rt.barrier()
+            graph_stats = rt.graph.stats
+
+        y = np.concatenate(y_parts)
+        expected = sla.solve_triangular(
+            sla.cholesky(spd, lower=True), rhs, lower=True
+        )
+        assert np.allclose(y, expected, atol=1e-6)
+        # Cross-phase edges exist: solve tasks depend on factor tasks.
+        assert graph_stats.total_tasks > 20
+
+    def test_barrier_separated_phases_reuse_data(self):
+        """Write-back at a barrier restores user-visible data, and the
+        next phase re-tracks it from scratch."""
+
+        data = np.zeros(64)
+
+        @css_task("inout(a)")
+        def inc(a):
+            a += 1
+
+        @css_task("input(a) output(b)")
+        def double(a, b):
+            np.multiply(a, 2.0, out=b)
+
+        out = np.zeros(64)
+        with SmpssRuntime(num_workers=2) as rt:
+            for _ in range(5):
+                inc(data)
+            rt.barrier()
+            assert (data == 5.0).all()  # visible between phases
+            double(data, out)
+            inc(data)
+            rt.barrier()
+        assert (out == 10.0).all()
+        assert (data == 6.0).all()
+
+    def test_many_phases_stress(self):
+        data = np.zeros(16)
+
+        @css_task("inout(a)")
+        def inc(a):
+            a += 1
+
+        with SmpssRuntime(num_workers=3) as rt:
+            for phase in range(20):
+                for _ in range(10):
+                    inc(data)
+                rt.barrier()
+                assert (data == (phase + 1) * 10).all()
+
+
+class TestMixedWorkloads:
+    def test_interleaved_apps_in_one_runtime(self):
+        """Independent applications interleave in one task graph."""
+
+        n_blocks, m = 3, 8
+        a = HyperMatrix.random(n_blocks, m, np.float64, seed=1)
+        b = HyperMatrix.random(n_blocks, m, np.float64, seed=2)
+        c = HyperMatrix.zeros(n_blocks, m, np.float64)
+        spd = HyperMatrix.random_spd(3, 8, seed=4)
+        spd_dense = spd.to_dense()
+        rng = np.random.default_rng(5)
+        array = rng.standard_normal(2048).astype(np.float32)
+        sorted_expected = np.sort(array)
+
+        with SmpssRuntime(num_workers=3) as rt:
+            matmul_dense(a, b, c)
+            cholesky_hyper(spd)
+            multisort(array, quicksize=256)
+            rt.barrier()
+
+        assert np.allclose(c.to_dense(), a.to_dense() @ b.to_dense())
+        assert np.allclose(
+            spd.lower_to_dense(), sla.cholesky(spd_dense, lower=True), atol=1e-8
+        )
+        assert (array == sorted_expected).all()
+
+
+class TestFullStackPipeline:
+    def test_compile_record_simulate_and_run(self):
+        """One annotated source -> translator -> all three backends."""
+
+        import textwrap
+
+        from repro.compiler import compile_annotated
+        from repro.core.recorder import RecordingRuntime
+        from repro.sim import ALTIX_32, CostModel, SimulatedRuntime
+
+        src = textwrap.dedent(
+            """\
+            import numpy as np
+
+            #pragma css task input(a, b) output(c)
+            def add(a, b, c):
+                np.add(a, b, out=c)
+
+            #pragma css task inout(c)
+            def halve(c):
+                c *= 0.5
+
+            def program(parts):
+                total = [np.zeros(4) for _ in range(len(parts) - 1)]
+                acc = parts[0]
+                for i, part in enumerate(parts[1:]):
+                    add(acc, part, total[i])
+                    acc = total[i]
+                halve(acc)
+                #pragma css barrier
+                return acc
+            """
+        )
+        module = compile_annotated(src, "pipeline_prog")
+        parts = [np.full(4, float(i)) for i in range(5)]
+        expected = sum(parts).copy() * 0.5
+
+        # 1. sequential
+        seq = module.program([np.array(p) for p in parts])
+        assert np.allclose(seq, expected)
+
+        # 2. threaded
+        with SmpssRuntime(num_workers=2):
+            thr = module.program([np.array(p) for p in parts])
+        assert np.allclose(thr, expected)
+
+        # 3. recorded (eager)
+        rec = RecordingRuntime(execute="eager")
+        with rec:
+            eag = module.program([np.array(p) for p in parts])
+        assert np.allclose(eag, expected)
+
+        # 4. simulated (bodies on, virtual time measured)
+        machine = ALTIX_32.with_cores(4)
+        simrt = SimulatedRuntime(
+            machine=machine,
+            cost_model=CostModel(machine, block_size=8),
+            execute_bodies=True,
+        )
+        with simrt:
+            sim = module.program([np.array(p) for p in parts])
+            simrt.barrier()
+        assert np.allclose(sim, expected)
+        assert simrt.result().makespan > 0
+
+
+class TestScaleStress:
+    def test_ten_thousand_tiny_tasks(self):
+        data = np.zeros(1)
+
+        @css_task("inout(a)")
+        def inc(a):
+            a += 1
+
+        with SmpssRuntime(num_workers=3, max_pending_tasks=500) as rt:
+            for _ in range(10_000):
+                inc(data)
+            rt.barrier()
+        assert data[0] == 10_000
+
+    def test_wide_fan_out_and_reduce(self):
+        source = np.ones(8)
+        leaves = [np.zeros(8) for _ in range(200)]
+        total = np.zeros(8)
+
+        @css_task("input(a) output(b)")
+        def fan(a, b):
+            b[...] = a * 2
+
+        @css_task("input(a) inout(acc)")
+        def reduce_t(a, acc):
+            acc += a
+
+        with SmpssRuntime(num_workers=3) as rt:
+            for leaf in leaves:
+                fan(source, leaf)
+            for leaf in leaves:
+                reduce_t(leaf, total)
+            rt.barrier()
+        assert (total == 400.0).all()

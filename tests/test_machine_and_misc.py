@@ -1,0 +1,164 @@
+"""Unit tests for machine config, invocation resolution, misc edges."""
+
+import numpy as np
+import pytest
+
+from repro import SmpssRuntime, css_task
+from repro.core.invocation import instantiate, resolve_call_values
+from repro.core.dependencies import DependencyTracker
+from repro.core.graph import TaskGraph
+from repro.sim.machine import ALTIX_32, MachineConfig
+
+
+class TestMachineConfig:
+    def test_altix_peak(self):
+        assert ALTIX_32.cores == 32
+        assert ALTIX_32.peak_gflops == pytest.approx(204.8)
+        assert ALTIX_32.core_peak_flops == pytest.approx(6.4e9)
+
+    def test_with_cores(self):
+        m = ALTIX_32.with_cores(8)
+        assert m.cores == 8
+        assert m.peak_gflops == pytest.approx(51.2)
+        # Other parameters are preserved.
+        assert m.core_bandwidth == ALTIX_32.core_bandwidth
+        # Original untouched (frozen dataclass).
+        assert ALTIX_32.cores == 32
+
+    def test_with_cores_validation(self):
+        with pytest.raises(ValueError):
+            ALTIX_32.with_cores(0)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            ALTIX_32.cores = 4  # type: ignore[misc]
+
+
+class TestResolveCallValues:
+    def test_scalars_pass_through(self):
+        @css_task("input(a) input(n)")
+        def f(a, n):  # noqa: ARG001
+            pass
+
+        graph = TaskGraph()
+        tracker = DependencyTracker(graph)
+        data = np.zeros(4)
+        task = instantiate(f.definition, (data, 7), {})
+        tracker.analyze(task)
+        values = resolve_call_values(task)
+        assert values[0] is data
+        assert values[1] == 7
+
+    def test_renamed_output_gets_fresh_buffer(self):
+        @css_task("input(a) output(b)")
+        def copy(a, b):  # noqa: ARG001
+            pass
+
+        @css_task("output(b)")
+        def clobber(b):  # noqa: ARG001
+            pass
+
+        graph = TaskGraph()
+        tracker = DependencyTracker(graph)
+        data = np.zeros(4)
+        sink = np.zeros(4)
+        reader = instantiate(copy.definition, (sink, data), {})
+        tracker.analyze(reader)
+        writer = instantiate(clobber.definition, (data,), {})
+        tracker.analyze(writer)
+        values = resolve_call_values(writer)
+        # The writer got a fresh buffer, not the user's array.
+        assert values[0] is not data
+        assert values[0].shape == data.shape
+
+    def test_region_mode_resolves_to_base(self):
+        @css_task("inout(a{i..j}) input(i, j)")
+        def touch(a, i, j):  # noqa: ARG001
+            pass
+
+        graph = TaskGraph()
+        tracker = DependencyTracker(graph)
+        data = np.zeros(8)
+        task = instantiate(touch.definition, (data, 0, 3), {})
+        tracker.analyze(task)
+        values = resolve_call_values(task)
+        assert values[0] is data
+
+
+class TestRuntimeOptions:
+    def test_unknown_option_rejected(self):
+        with pytest.raises(TypeError, match="unknown runtime option"):
+            SmpssRuntime(num_workers=1, bogus_option=3)
+
+    def test_double_start_rejected(self):
+        rt = SmpssRuntime(num_workers=1)
+        rt.start()
+        try:
+            with pytest.raises(RuntimeError, match="already started"):
+                rt.start()
+        finally:
+            rt.shutdown()
+
+    def test_submit_before_start_rejected(self):
+        @css_task("inout(a)")
+        def f(a):
+            a += 1
+
+        rt = SmpssRuntime(num_workers=1)
+        with pytest.raises(RuntimeError, match="not started"):
+            rt.submit(f.definition, (np.zeros(1),), {})
+
+    def test_shutdown_idempotent(self):
+        rt = SmpssRuntime(num_workers=1)
+        rt.start()
+        rt.shutdown()
+        rt.shutdown()  # no-op
+
+    def test_num_threads_property(self):
+        rt = SmpssRuntime(num_workers=3)
+        assert rt.num_threads == 4
+
+
+class TestGenericObjects:
+    def test_custom_object_tracked_by_identity(self):
+        class Box:
+            def __init__(self):
+                self.value = 0
+
+        @css_task("inout(box)")
+        def bump_box(box):
+            box.value += 1
+
+        box = Box()
+        with SmpssRuntime(num_workers=2) as rt:
+            for _ in range(10):
+                bump_box(box)
+            rt.barrier()
+        assert box.value == 10
+
+    def test_list_parameter_renaming(self):
+        """Lists are renameable: pending readers keep old contents."""
+
+        from repro.core.recorder import RecordingRuntime
+
+        source = [0]
+        outs = []
+
+        @css_task("input(src) output(dst)")
+        def snapshot(src, dst):
+            dst[:] = list(src)
+
+        @css_task("inout(src)")
+        def advance(src):
+            src[0] += 1
+
+        recorder = RecordingRuntime(execute="eager")
+        with recorder:
+            for _ in range(3):
+                out = [None]
+                outs.append(out)
+                snapshot(source, out)
+                advance(source)
+            recorder.barrier()
+        assert [o[0] for o in outs] == [0, 1, 2]
+        assert source[0] == 3

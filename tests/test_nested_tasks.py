@@ -1,0 +1,96 @@
+"""Nested task calls run inline (sections VII.B and VII.D).
+
+"OpenMP 3.0 supports nested tasks ... while SMPSs treats task calls
+inside tasks as normal function calls."  A call to a ``@css_task``
+function made from *within an executing task body* must execute the
+plain function synchronously, on whichever thread is running the body —
+never submit a nested task (which would also race the single-threaded
+dependency analysis).
+"""
+
+import numpy as np
+import pytest
+
+from repro import SmpssRuntime, css_task
+from repro.core.recorder import RecordingRuntime
+from repro.sim import ALTIX_32, CostModel, SimulatedRuntime
+
+
+@css_task("inout(a)")
+def inner(a):
+    a += 1
+
+
+@css_task("inout(a)")
+def outer(a):
+    # A task calling another task: must behave as a normal call.
+    inner(a)
+    inner(a)
+    a += 10
+
+
+class TestThreadedNesting:
+    def test_nested_calls_run_inline(self):
+        data = np.zeros(1)
+        with SmpssRuntime(num_workers=2, keep_graph=True) as rt:
+            outer(data)
+            rt.barrier()
+            total_tasks = rt.graph.stats.total_tasks
+        assert data[0] == 12.0
+        assert total_tasks == 1  # only `outer` became a task
+
+    def test_deep_recursion_inside_task(self):
+        @css_task("inout(a) input(depth)")
+        def recurse(a, depth):
+            a += 1
+            if depth > 0:
+                recurse(a, depth - 1)  # inline, not nested submission
+
+        data = np.zeros(1)
+        with SmpssRuntime(num_workers=2, keep_graph=True) as rt:
+            recurse(data, 9)
+            rt.barrier()
+            total_tasks = rt.graph.stats.total_tasks
+        assert data[0] == 10.0
+        assert total_tasks == 1
+
+    def test_main_thread_helping_keeps_submitting_semantics(self):
+        """Nested inlining applies to bodies the MAIN thread executes
+        while helping, too (it is 'inside a task' there)."""
+
+        data = np.zeros(1)
+        with SmpssRuntime(num_workers=1, max_pending_tasks=2, keep_graph=True) as rt:
+            for _ in range(20):
+                outer(data)
+            rt.barrier()
+            total = rt.graph.stats.total_tasks
+        assert data[0] == 240.0
+        assert total == 20
+
+
+class TestRecorderNesting:
+    def test_eager_recorder_inlines_nested_calls(self):
+        data = np.zeros(1)
+        recorder = RecordingRuntime(execute="eager")
+        with recorder:
+            outer(data)
+            recorder.barrier()
+        prog = recorder.finish()
+        assert prog.task_count == 1
+        assert data[0] == 12.0
+
+
+class TestSimulatedNesting:
+    def test_execute_bodies_inlines_nested_calls(self):
+        data = np.zeros(1)
+        machine = ALTIX_32.with_cores(2)
+        runtime = SimulatedRuntime(
+            machine=machine,
+            cost_model=CostModel(machine, block_size=4),
+            execute_bodies=True,
+        )
+        with runtime:
+            outer(data)
+            runtime.barrier()
+        assert data[0] == 12.0
+        assert runtime.tasks_submitted == 1

@@ -1,0 +1,212 @@
+"""Tests for the ``#pragma css task`` clause parser (sections II, V.A)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.pragma import (
+    PragmaError,
+    parse_expression,
+    parse_pragma,
+)
+from repro.core.task import Direction
+
+
+class TestDirectionalityClauses:
+    def test_single_input(self):
+        p = parse_pragma("input(a)")
+        assert len(p.params) == 1
+        assert p.params[0].name == "a"
+        assert p.params[0].direction is Direction.INPUT
+
+    def test_figure2_sgemm(self):
+        p = parse_pragma("input(a, b) inout(c)")
+        assert [s.name for s in p.params] == ["a", "b", "c"]
+        assert [s.direction for s in p.params] == [
+            Direction.INPUT, Direction.INPUT, Direction.INOUT,
+        ]
+
+    def test_output_clause(self):
+        p = parse_pragma("output(dest)")
+        assert p.params[0].direction is Direction.OUTPUT
+
+    def test_opaque_clause(self):
+        p = parse_pragma("opaque(A) input(i, j) output(a)")
+        assert p.params[0].direction is Direction.OPAQUE
+
+    def test_multiple_clauses_same_direction(self):
+        p = parse_pragma("input(a) input(b)")
+        assert len(p.params) == 2
+
+    def test_empty_pragma(self):
+        p = parse_pragma("")
+        assert p.params == []
+        assert not p.high_priority
+
+    def test_full_pragma_line_tolerated(self):
+        # The whole construct tail may be passed verbatim.
+        p = parse_pragma("css task input(a) inout(b)")
+        assert [s.name for s in p.params] == ["a", "b"]
+
+
+class TestHighPriority:
+    def test_highpriority_flag(self):
+        assert parse_pragma("highpriority").high_priority
+        assert parse_pragma("input(a) highpriority").high_priority
+        assert not parse_pragma("input(a)").high_priority
+
+
+class TestDimensionSpecifiers:
+    def test_single_dimension(self):
+        p = parse_pragma("input(data[N])")
+        spec = p.params[0]
+        assert len(spec.dims) == 1
+        assert spec.dims[0].evaluate({"N": 10}) == 10
+
+    def test_figure2_matrix_dims(self):
+        p = parse_pragma("input(a[M][M], b[M][M]) inout(c[M][M])")
+        for spec in p.params:
+            assert len(spec.dims) == 2
+
+    def test_dimension_expression(self):
+        p = parse_pragma("input(a[N*M+1])")
+        assert p.params[0].dims[0].evaluate({"N": 3, "M": 4}) == 13
+
+
+class TestRegionSpecifiers:
+    def test_bounds_form(self):
+        p = parse_pragma("inout(data{i..j})")
+        region = p.params[0].regions[0]
+        assert region.bounds({"i": 2, "j": 7}) == (2, 7)
+
+    def test_length_form(self):
+        p = parse_pragma("input(data{l:L})")
+        region = p.params[0].regions[0]
+        assert region.bounds({"l": 4, "L": 3}) == (4, 6)
+
+    def test_empty_form_with_extent(self):
+        p = parse_pragma("input(data{})")
+        region = p.params[0].regions[0]
+        assert region.full
+        assert region.bounds({}, extent=10) == (0, 9)
+
+    def test_empty_form_unknown_extent(self):
+        p = parse_pragma("input(data{})")
+        assert p.params[0].regions[0].bounds({}, extent=None) == (0, -1)
+
+    def test_figure7_seqmerge(self):
+        p = parse_pragma(
+            "input(data{i1..j1}, data{i2..j2}, i1, j1, i2, j2) "
+            "output(dest{i1..j2})"
+        )
+        data_specs = p.specs_for("data")
+        assert len(data_specs) == 2
+        assert all(s.has_region for s in data_specs)
+        dest = p.specs_for("dest")[0]
+        assert dest.direction is Direction.OUTPUT
+
+    def test_multidimensional_regions(self):
+        p = parse_pragma("inout(A{r0..r1}{c0..c1})")
+        spec = p.params[0]
+        assert len(spec.regions) == 2
+
+    def test_region_after_dims(self):
+        p = parse_pragma("input(data[N]{i..j})")
+        spec = p.params[0]
+        assert len(spec.dims) == 1 and len(spec.regions) == 1
+
+    def test_region_with_expressions(self):
+        p = parse_pragma("input(data{i+1..2*j-1})")
+        assert p.params[0].regions[0].bounds({"i": 0, "j": 3}) == (1, 5)
+
+    def test_line_continuations(self):
+        p = parse_pragma("input(a) \\\n inout(b)")
+        assert [s.name for s in p.params] == ["a", "b"]
+
+
+class TestValidation:
+    def test_unknown_clause(self):
+        with pytest.raises(PragmaError, match="unknown clause"):
+            parse_pragma("banana(a)")
+
+    def test_missing_paren(self):
+        with pytest.raises(PragmaError):
+            parse_pragma("input(a")
+
+    def test_duplicate_without_regions(self):
+        with pytest.raises(PragmaError, match="several times"):
+            parse_pragma("input(a) output(a)")
+
+    def test_duplicate_with_regions_ok(self):
+        p = parse_pragma("input(a{0..1}) output(a{2..3})")
+        assert len(p.specs_for("a")) == 2
+
+    def test_opaque_conflicts_with_direction(self):
+        with pytest.raises(PragmaError, match="opaque"):
+            parse_pragma("opaque(p) input(p{0..1})")
+
+    def test_region_dim_count_mismatch(self):
+        with pytest.raises(PragmaError, match="one region per dimension"):
+            parse_pragma("input(a[N][N]{0..1})")
+
+    def test_bad_region_separator(self):
+        with pytest.raises(PragmaError):
+            parse_pragma("input(a{1;2})")
+
+    def test_garbage_characters(self):
+        with pytest.raises(PragmaError, match="unexpected character"):
+            parse_pragma("input(a) @")
+
+
+class TestExpressions:
+    def test_integer(self):
+        assert parse_expression("42").evaluate({}) == 42
+
+    def test_precedence(self):
+        assert parse_expression("2+3*4").evaluate({}) == 14
+        assert parse_expression("(2+3)*4").evaluate({}) == 20
+
+    def test_unary_minus(self):
+        assert parse_expression("-3+5").evaluate({}) == 2
+
+    def test_c99_truncating_division(self):
+        assert parse_expression("7/2").evaluate({}) == 3
+        assert parse_expression("0-7/2").evaluate({}) == -3  # trunc toward 0
+
+    def test_modulo(self):
+        assert parse_expression("7%3").evaluate({}) == 1
+
+    def test_unknown_name(self):
+        with pytest.raises(PragmaError, match="unknown parameter"):
+            parse_expression("x+1").evaluate({})
+
+    def test_division_by_zero(self):
+        with pytest.raises(PragmaError, match="division by zero"):
+            parse_expression("1/0").evaluate({})
+
+    def test_names_collection(self):
+        assert parse_expression("i+2*quarter-1").names() == {"i", "quarter"}
+
+    def test_trailing_garbage(self):
+        with pytest.raises(PragmaError, match="trailing"):
+            parse_expression("1 2")
+
+    def test_empty(self):
+        with pytest.raises(PragmaError, match="empty"):
+            parse_expression("   ")
+
+    @given(
+        a=st.integers(0, 1000), b=st.integers(0, 1000), c=st.integers(1, 100)
+    )
+    def test_matches_python_semantics(self, a, b, c):
+        expr = parse_expression("a*b+a/c-b%c")
+        expected = a * b + a // c - b % c  # all operands non-negative
+        assert expr.evaluate({"a": a, "b": b, "c": c}) == expected
+
+    @given(st.integers(-10**6, 10**6), st.integers(1, 10**4))
+    def test_c99_division_identity(self, num, den):
+        # (num/den)*den + num%den == num, C99 semantics.
+        env = {"n": num, "d": den}
+        q = parse_expression("n/d").evaluate(env)
+        r = parse_expression("n%d").evaluate(env)
+        assert q * den + r == num
+        assert abs(r) < den

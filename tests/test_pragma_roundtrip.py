@@ -1,0 +1,91 @@
+"""Property test: pragma rendering round-trips through the parser."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.pragma import parse_pragma
+from repro.core.task import Direction
+
+_DIRECTIONS = ["input", "output", "inout"]
+identifier = st.from_regex(r"[a-z][a-z0-9_]{0,6}", fullmatch=True).filter(
+    lambda s: s not in {"input", "output", "inout", "opaque",
+                        "highpriority", "task", "css"}
+)
+
+
+@st.composite
+def pragma_text(draw):
+    """Generate a random (valid) clause list plus its expected shape."""
+
+    n_clauses = draw(st.integers(1, 4))
+    used_names: set[str] = set()
+    clauses = []
+    expected = []  # (name, direction, n_dims, n_regions)
+    for _ in range(n_clauses):
+        direction = draw(st.sampled_from(_DIRECTIONS))
+        n_params = draw(st.integers(1, 3))
+        params = []
+        for _ in range(n_params):
+            name = draw(identifier.filter(lambda s: s not in used_names))
+            used_names.add(name)
+            n_dims = draw(st.integers(0, 2))
+            dims = "".join(
+                f"[{draw(st.integers(1, 99))}]" for _ in range(n_dims)
+            )
+            if n_dims:
+                regions = draw(st.sampled_from([0, n_dims]))
+            else:
+                regions = draw(st.integers(0, 1))
+            region_text = ""
+            for _ in range(regions):
+                style = draw(st.integers(0, 2))
+                lo = draw(st.integers(0, 9))
+                hi = lo + draw(st.integers(0, 9))
+                if style == 0:
+                    region_text += f"{{{lo}..{hi}}}"
+                elif style == 1:
+                    region_text += f"{{{lo}:{hi - lo + 1}}}"
+                else:
+                    region_text += "{}"
+            params.append(f"{name}{dims}{region_text}")
+            expected.append((name, direction, n_dims, regions))
+        clauses.append(f"{direction}({', '.join(params)})")
+    high = draw(st.booleans())
+    if high:
+        clauses.append("highpriority")
+    return " ".join(clauses), expected, high
+
+
+@given(pragma_text())
+def test_parse_matches_generated_shape(case):
+    text, expected, high = case
+    parsed = parse_pragma(text)
+    assert parsed.high_priority == high
+    assert len(parsed.params) == len(expected)
+    for spec, (name, direction, n_dims, n_regions) in zip(parsed.params, expected):
+        assert spec.name == name
+        assert spec.direction is Direction(direction)
+        assert len(spec.dims) == n_dims
+        assert len(spec.regions) == n_regions
+
+
+@given(pragma_text())
+def test_str_rendering_reparses_identically(case):
+    text, _expected, high = case
+    parsed = parse_pragma(text)
+    # Render each spec back to clause text and reparse.
+    rendered_clauses = [
+        f"{spec.direction.value}({spec})" for spec in parsed.params
+    ]
+    if high:
+        rendered_clauses.append("highpriority")
+    reparsed = parse_pragma(" ".join(rendered_clauses))
+    assert len(reparsed.params) == len(parsed.params)
+    for a, b in zip(parsed.params, reparsed.params):
+        assert a.name == b.name
+        assert a.direction is b.direction
+        assert len(a.dims) == len(b.dims)
+        assert [r.full for r in a.regions] == [r.full for r in b.regions]
+        env: dict = {}
+        for ra, rb in zip(a.regions, b.regions):
+            if not ra.full:
+                assert ra.bounds(env) == rb.bounds(env)

@@ -1,0 +1,158 @@
+"""Tests for array regions (section V.A) — geometry and properties."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.regions import FULL_DIM, Region, RegionError
+
+
+class TestConstruction:
+    def test_valid(self):
+        r = Region(((0, 5), (3, 3)))
+        assert r.ndim == 2
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(RegionError, match="empty interval"):
+            Region(((5, 4),))
+
+    def test_negative_lower_rejected(self):
+        with pytest.raises(RegionError, match="negative"):
+            Region(((-1, 4),))
+
+    def test_full_sentinel_allowed(self):
+        r = Region((FULL_DIM,))
+        assert r.is_full
+
+    def test_from_slice(self):
+        assert Region.from_slice(3, 7).intervals == ((3, 6),)
+        with pytest.raises(RegionError):
+            Region.from_slice(3, 3)
+
+    def test_full_factory(self):
+        assert Region.full(3).ndim == 3
+        assert Region.full(3).is_full
+
+
+class TestOverlap:
+    def test_disjoint_1d(self):
+        assert not Region(((0, 4),)).overlaps(Region(((5, 9),)))
+
+    def test_adjacent_touching(self):
+        # Inclusive bounds: {0..4} and {4..8} share element 4.
+        assert Region(((0, 4),)).overlaps(Region(((4, 8),)))
+
+    def test_2d_disjoint_rows_same_cols(self):
+        a = Region(((0, 3), (0, 9)))
+        b = Region(((4, 7), (0, 9)))
+        assert not a.overlaps(b)
+
+    def test_2d_corner_overlap(self):
+        a = Region(((0, 5), (0, 5)))
+        b = Region(((5, 9), (5, 9)))
+        assert a.overlaps(b)
+
+    def test_full_overlaps_everything(self):
+        assert Region.full(1).overlaps(Region(((100, 200),)))
+
+    def test_rank_mismatch_is_conservative(self):
+        assert Region(((0, 1),)).overlaps(Region(((5, 6), (0, 1))))
+
+    def test_symmetry(self):
+        a = Region(((0, 5), (2, 4)))
+        b = Region(((3, 8), (4, 9)))
+        assert a.overlaps(b) == b.overlaps(a)
+
+
+class TestContainment:
+    def test_contains(self):
+        assert Region(((0, 9),)).contains(Region(((2, 5),)))
+        assert not Region(((2, 5),)).contains(Region(((0, 9),)))
+
+    def test_full_contains_all(self):
+        assert Region.full(1).contains(Region(((3, 7),)))
+        assert not Region(((3, 7),)).contains(Region.full(1))
+
+    def test_self_containment(self):
+        r = Region(((2, 5), (1, 1)))
+        assert r.contains(r)
+
+
+class TestIntersection:
+    def test_basic(self):
+        a = Region(((0, 5),))
+        b = Region(((3, 9),))
+        assert a.intersection(b) == Region(((3, 5),))
+
+    def test_disjoint_returns_none(self):
+        assert Region(((0, 2),)).intersection(Region(((3, 4),))) is None
+
+    def test_with_full(self):
+        assert Region.full(1).intersection(Region(((3, 4),))) == Region(((3, 4),))
+
+
+class TestConversions:
+    def test_to_slices(self):
+        r = Region(((2, 4), FULL_DIM))
+        assert r.to_slices() == (slice(2, 5), slice(None))
+
+    def test_resolved_against(self):
+        r = Region((FULL_DIM, (1, 3)))
+        assert r.resolved_against((10, 5)).intervals == ((0, 9), (1, 3))
+
+    def test_resolution_bound_check(self):
+        with pytest.raises(RegionError, match="exceeds"):
+            Region(((0, 10),)).resolved_against((5,))
+
+    def test_element_count(self):
+        assert Region(((0, 4), (0, 1))).element_count() == 10
+        assert Region((FULL_DIM,)).element_count() is None
+
+
+# ---------------------------------------------------------------------------
+# Property-based: region algebra invariants
+# ---------------------------------------------------------------------------
+
+interval = st.tuples(st.integers(0, 50), st.integers(0, 50)).map(
+    lambda t: (min(t), max(t))
+)
+region_1d = interval.map(lambda iv: Region((iv,)))
+region_2d = st.tuples(interval, interval).map(lambda t: Region(t))
+
+
+@given(region_2d, region_2d)
+def test_overlap_iff_intersection(a, b):
+    assert a.overlaps(b) == (a.intersection(b) is not None)
+
+
+@given(region_2d, region_2d)
+def test_intersection_contained_in_both(a, b):
+    inter = a.intersection(b)
+    if inter is not None:
+        assert a.contains(inter)
+        assert b.contains(inter)
+
+
+@given(region_2d, region_2d)
+def test_containment_implies_overlap(a, b):
+    if a.contains(b):
+        assert a.overlaps(b)
+
+
+@given(region_2d, region_2d, region_2d)
+def test_intersection_associative(a, b, c):
+    def inter3(x, y, z):
+        xy = x.intersection(y)
+        return None if xy is None else xy.intersection(z)
+
+    left = inter3(a, b, c)
+    right_bc = b.intersection(c)
+    right = None if right_bc is None else a.intersection(right_bc)
+    assert left == right
+
+
+@given(region_1d)
+def test_element_count_matches_slices(r):
+    (lo, hi), = r.intervals
+    assert r.element_count() == hi - lo + 1
+    sl = r.to_slices()[0]
+    assert sl.stop - sl.start == r.element_count()

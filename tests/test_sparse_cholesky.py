@@ -1,0 +1,130 @@
+"""Tests for the sparse blocked Cholesky (irregular-workload extension)."""
+
+import numpy as np
+import pytest
+import scipy.linalg as sla
+
+from repro import SmpssRuntime, record_program
+from repro.apps.cholesky import cholesky_hyper, cholesky_sparse, hyper_task_count
+from repro.blas.hypermatrix import HyperMatrix
+
+
+def block_banded_spd(n_blocks: int, m: int, bandwidth: int, seed: int = 0):
+    """An SPD hyper-matrix whose lower factor is block-banded.
+
+    Built as L0 @ L0.T from a banded lower-triangular L0, so both the
+    matrix and its Cholesky factor have known block sparsity.
+    """
+
+    rng = np.random.default_rng(seed)
+    size = n_blocks * m
+    l0 = np.zeros((size, size))
+    for i in range(n_blocks):
+        for j in range(max(0, i - bandwidth), i + 1):
+            block = rng.standard_normal((m, m)) * 0.3
+            l0[i * m:(i + 1) * m, j * m:(j + 1) * m] = block
+        ii = slice(i * m, (i + 1) * m)
+        l0[ii, ii] = np.tril(l0[ii, ii]) + m * np.eye(m)
+    spd = l0 @ l0.T
+    hm = HyperMatrix(n_blocks, m, np.float64)
+    for i in range(n_blocks):
+        for j in range(i + 1):
+            piece = spd[i * m:(i + 1) * m, j * m:(j + 1) * m]
+            if np.any(piece != 0.0):
+                hm[i, j] = np.array(piece)
+    return hm, spd
+
+
+class TestSparseCholesky:
+    def test_banded_matches_scipy_sequential(self):
+        hm, spd = block_banded_spd(6, 8, bandwidth=1)
+        cholesky_sparse(hm)
+        assert np.allclose(
+            hm.lower_to_dense(), sla.cholesky(spd, lower=True), atol=1e-8
+        )
+
+    def test_banded_matches_scipy_threaded(self):
+        hm, spd = block_banded_spd(6, 8, bandwidth=2, seed=3)
+        with SmpssRuntime(num_workers=3) as rt:
+            cholesky_sparse(hm)
+            rt.barrier()
+        assert np.allclose(
+            hm.lower_to_dense(), sla.cholesky(spd, lower=True), atol=1e-8
+        )
+
+    def test_dense_input_equals_dense_algorithm(self):
+        hm_sparse = HyperMatrix.random_spd(5, 8, seed=1)
+        hm_dense = hm_sparse.copy()
+        cholesky_sparse(hm_sparse)
+        cholesky_hyper(hm_dense)
+        assert np.allclose(
+            hm_sparse.lower_to_dense(), hm_dense.lower_to_dense(), atol=1e-10
+        )
+
+    def test_fewer_tasks_than_dense(self):
+        hm, _spd = block_banded_spd(8, 4, bandwidth=1)
+        prog = record_program(cholesky_sparse, hm, execute="skip")
+        dense_count = hyper_task_count(8)["total"]
+        assert prog.task_count < dense_count * 0.7
+
+    def test_band_preserved_no_excess_fill(self):
+        """A banded factor fills only within the band: far blocks stay
+        absent (the structure of L0 is recovered)."""
+
+        bandwidth = 1
+        hm, _spd = block_banded_spd(8, 4, bandwidth=bandwidth, seed=5)
+        cholesky_sparse(hm)
+        for i in range(8):
+            for j in range(8):
+                if j > i:
+                    continue
+                if i - j > bandwidth:
+                    assert hm[i][j] is None, f"unexpected fill at ({i},{j})"
+
+    def test_fill_in_allocated_when_needed(self):
+        """An arrow-head matrix (dense last block row) forces fill."""
+
+        rng = np.random.default_rng(7)
+        n_blocks, m = 5, 4
+        size = n_blocks * m
+        l0 = np.zeros((size, size))
+        for i in range(n_blocks):
+            ii = slice(i * m, (i + 1) * m)
+            l0[ii, ii] = np.tril(rng.standard_normal((m, m))) * 0.2 + m * np.eye(m)
+        # Last block row dense: couples every column.
+        last = slice((n_blocks - 1) * m, size)
+        l0[last, : (n_blocks - 1) * m] = rng.standard_normal(
+            (m, (n_blocks - 1) * m)
+        ) * 0.2
+        spd = l0 @ l0.T
+        hm = HyperMatrix(n_blocks, m, np.float64)
+        for i in range(n_blocks):
+            for j in range(i + 1):
+                piece = spd[i * m:(i + 1) * m, j * m:(j + 1) * m]
+                if np.any(piece != 0.0):
+                    hm[i, j] = np.array(piece)
+
+        with SmpssRuntime(num_workers=2) as rt:
+            cholesky_sparse(hm)
+            rt.barrier()
+        assert np.allclose(
+            hm.lower_to_dense(), sla.cholesky(spd, lower=True), atol=1e-8
+        )
+
+    def test_missing_diagonal_rejected(self):
+        hm = HyperMatrix(3, 4, np.float64)
+        hm[0, 0] = np.eye(4)
+        with pytest.raises(ValueError, match="diagonal"):
+            cholesky_sparse(hm)
+
+    def test_parallelism_scales_with_bandwidth(self):
+        # Tridiagonal-block factorisation is a pure pipeline (critical
+        # path == task count); widening the band adds parallel slack.
+        narrow, _ = block_banded_spd(10, 4, bandwidth=1)
+        prog_narrow = record_program(cholesky_sparse, narrow, execute="skip")
+        assert (
+            prog_narrow.graph.critical_path_length() == prog_narrow.task_count
+        )
+        wide, _ = block_banded_spd(10, 4, bandwidth=4)
+        prog_wide = record_program(cholesky_sparse, wide, execute="skip")
+        assert prog_wide.graph.critical_path_length() < prog_wide.task_count

@@ -1,0 +1,77 @@
+"""Tests for the tracing-enabled runtime (section VII.A)."""
+
+import numpy as np
+
+from repro import SmpssRuntime, css_task
+from repro.core.tracing import EventKind, NullTracer, Tracer
+
+
+@css_task("inout(a)")
+def bump(a):
+    a += 1
+
+
+class TestTracer:
+    def _run_traced(self, tasks=3, workers=2):
+        a = np.zeros(1)
+        rt = SmpssRuntime(num_workers=workers, trace=True)
+        with rt:
+            for _ in range(tasks):
+                bump(a)
+            rt.barrier()
+        return rt.tracer
+
+    def test_event_stream_structure(self):
+        tracer = self._run_traced(tasks=4)
+        counts = tracer.counts()
+        assert counts[EventKind.TASK_ADDED] == 4
+        assert counts[EventKind.TASK_START] == 4
+        assert counts[EventKind.TASK_END] == 4
+        assert counts[EventKind.BARRIER_ENTER] == counts[EventKind.BARRIER_EXIT]
+
+    def test_intervals_and_makespan(self):
+        tracer = self._run_traced(tasks=5)
+        intervals = tracer.task_intervals()
+        assert len(intervals) == 5
+        for start, end, thread, name in intervals.values():
+            assert end >= start
+            assert thread >= 0
+            assert name == "bump"
+        assert tracer.makespan() >= 0
+
+    def test_busy_time_by_thread(self):
+        tracer = self._run_traced(tasks=6)
+        busy = tracer.busy_time_by_thread()
+        assert sum(busy.values()) > 0
+        assert sum(tracer.tasks_by_thread().values()) == 6
+
+    def test_records_export(self):
+        tracer = self._run_traced()
+        records = list(tracer.to_records())
+        assert len(records) == len(tracer.events)
+        assert all(":" in r for r in records)
+
+    def test_ascii_timeline(self):
+        tracer = self._run_traced(tasks=4)
+        art = tracer.ascii_timeline(width=40)
+        assert "thr" in art
+        assert "b" in art  # glyph = first letter of task name
+
+    def test_ascii_timeline_empty(self):
+        assert "no task intervals" in Tracer().ascii_timeline()
+
+    def test_virtual_clock_injection(self):
+        times = iter(range(100))
+        tracer = Tracer(clock=lambda: float(next(times)))
+        tracer.barrier_enter()
+        tracer.barrier_exit()
+        assert [e.time for e in tracer.events] == [0.0, 1.0]
+
+
+class TestNullTracer:
+    def test_is_falsy_and_swallows_everything(self):
+        tracer = NullTracer()
+        assert not tracer
+        tracer.task_start(None, 3)
+        tracer.anything_at_all(1, 2, 3)
+        assert tracer.events == []
