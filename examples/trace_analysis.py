@@ -1,13 +1,26 @@
 #!/usr/bin/env python3
-"""Post-mortem trace analysis — the Paraver workflow (section VII.A).
+"""Post-mortem trace analysis with the ``repro.obs`` stack.
 
-The tracing-enabled runtime records task events; this example runs a
-traced Cholesky on both backends (threads and the virtual Altix),
-then performs the classic Paraver analyses: parallelism profile,
-per-task-type summaries, load balance, and a ``.prv`` export.
+The tracing-enabled runtime records task events into per-thread ring
+buffers; this example runs a traced Cholesky on both backends (threads
+and the virtual Altix), then walks the observability workflow:
+
+* ``runtime.report()`` — makespan breakdown, per-thread busy/idle,
+  work/span bounds, locality hit-rate, and the metrics registry;
+* ``write_chrome_trace`` — a Perfetto-loadable JSON timeline;
+* ``analyze_events(load_chrome_trace(...))`` — the same report
+  recomputed offline from the exported file (what the
+  ``python -m repro.obs report trace.json`` CLI does);
+* ``tracer.to_paraver()`` — the paper's own Paraver ``.prv`` format
+  (section VII.A);
+* the classic section VII analyses (parallelism profile, load
+  balance) which still operate on any tracer.
 
 Run:  python examples/trace_analysis.py
 """
+
+import os
+import tempfile
 
 import numpy as np
 
@@ -18,23 +31,39 @@ from repro.core.analysis import (
     average_parallelism,
     load_balance,
     parallelism_profile,
-    task_type_summary,
+)
+from repro.obs import (
+    analyze_events,
+    load_chrome_trace,
+    render_report,
+    write_chrome_trace,
 )
 from repro.sim import ALTIX_32, CostModel, SimulatedRuntime
 
 
 def threaded_trace() -> None:
-    print("== traced threaded run (wall-clock time) ==")
     hm = HyperMatrix.random_spd(6, 32, seed=1)
-    rt = SmpssRuntime(num_workers=3, trace=True)
+    rt = SmpssRuntime(num_workers=3, trace=True, keep_graph=True)
     with rt:
         cholesky_hyper(hm)
         rt.barrier()
-    _report(rt.tracer)
+    print(rt.report("traced threaded run (wall-clock time)"))
+    _classic_profile(rt.tracer)
+
+    # Export to Chrome trace format and analyse the file offline — the
+    # loaded report matches the live one (same makespan, same counts).
+    with tempfile.TemporaryDirectory() as tmp:
+        path = write_chrome_trace(rt.tracer, os.path.join(tmp, "trace.json"))
+        offline = analyze_events(
+            load_chrome_trace(path), num_threads=rt.num_threads
+        )
+        print(f"\n   offline re-analysis of {os.path.basename(path)}: "
+              f"{offline.total_tasks} tasks, "
+              f"makespan {offline.makespan * 1e3:.2f}ms "
+              "(also: python -m repro.obs report trace.json)")
 
 
 def simulated_trace() -> None:
-    print("\n== traced simulated run (virtual Altix time, 16 cores) ==")
     n_blocks = 12
     hm = HyperMatrix(n_blocks, 1, np.float32)
     for i in range(n_blocks):
@@ -49,22 +78,20 @@ def simulated_trace() -> None:
     with runtime:
         cholesky_hyper(hm)
         runtime.barrier()
-    _report(runtime.tracer)
+    print()
+    print(render_report(
+        analyze_events(runtime.tracer.events, num_threads=machine.cores),
+        title="traced simulated run (virtual Altix time, 16 cores)",
+    ))
+    _classic_profile(runtime.tracer)
     prv = runtime.tracer.to_paraver()
     print(f"   .prv export: {len(prv.splitlines())} records "
           "(tracer.to_paraver())")
 
 
-def _report(tracer) -> None:
+def _classic_profile(tracer) -> None:
     print(f"   average parallelism: {average_parallelism(tracer):.2f}")
     print(f"   load balance: {load_balance(tracer):.2f}")
-    print("   per task type:")
-    for name, summary in sorted(task_type_summary(tracer).items()):
-        print(
-            f"     {name:12s} count={summary.count:4d} "
-            f"total={summary.total_time*1e3:8.2f}ms "
-            f"mean={summary.mean_time*1e6:8.1f}us"
-        )
     profile = parallelism_profile(tracer, samples=24)
     peak = max((c for _t, c in profile), default=0)
     bars = "".join("#" if c >= peak * 0.75 else

@@ -11,9 +11,11 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
+from ..obs.metrics import reset_default_metrics
 from . import experiments as E
 
 _FIGURES = {
@@ -40,6 +42,10 @@ _QUICK_PARAMS = {
 def _run_figure(key: str, quick: bool, chart: bool, save: str | None = None) -> None:
     func = getattr(E, _FIGURES[key])
     params = _QUICK_PARAMS[key] if quick else {}
+    # Fresh process-default registry per figure: every runtime the
+    # figure spins up publishes its metrics there at shutdown, and the
+    # accumulated snapshot lands next to the figure's data files.
+    registry = reset_default_metrics()
     start = time.perf_counter()
     fig = func(**params)
     elapsed = time.perf_counter() - start
@@ -54,7 +60,20 @@ def _run_figure(key: str, quick: bool, chart: bool, save: str | None = None) -> 
         path = os.path.join(save, f"{key}.csv")
         fig.save(path)
         fig.save(os.path.join(save, f"{key}.json"))
-        print(f"  saved {path} / .json")
+        metrics_path = os.path.join(save, f"{key}.metrics.json")
+        with open(metrics_path, "w", encoding="utf-8") as handle:
+            json.dump(
+                {
+                    "figure": key,
+                    "elapsed_seconds": elapsed,
+                    "extras": fig.extras,
+                    "metrics": registry.snapshot(),
+                },
+                handle,
+                indent=2,
+                default=str,
+            )
+        print(f"  saved {path} / .json / .metrics.json")
     print(f"  [{elapsed:.1f}s]")
     print()
 

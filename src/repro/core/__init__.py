@@ -23,7 +23,13 @@ from .task import (
     TaskInstance,
     TaskState,
 )
-from .tracing import EventKind, NullTracer, TraceEvent, Tracer
+from .tracing import (
+    EventKind,
+    NullTracer,
+    ThreadLocalTracer,
+    TraceEvent,
+    Tracer,
+)
 
 __all__ = [
     "analysis",
@@ -64,6 +70,7 @@ __all__ = [
     "TaskState",
     "EventKind",
     "NullTracer",
+    "ThreadLocalTracer",
     "TraceEvent",
     "Tracer",
 ]

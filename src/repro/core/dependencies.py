@@ -151,7 +151,9 @@ class DependencyTracker:
         self.graph = graph
         self.registry = registry or default_registry()
         self.config = config or TrackerConfig()
-        self.tracer = tracer
+        # Falsy tracers (NullTracer) become None so per-task guards are a
+        # plain None check, not a Python-level __bool__ call.
+        self.tracer = tracer if tracer else None
         self._data: dict[int, TrackedDatum] = {}
         # Renamed-buffer memory accounting: materialisation happens on
         # worker threads, so the counter takes its own tiny lock.

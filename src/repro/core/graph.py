@@ -185,6 +185,38 @@ class TaskGraph:
             best = max(best, finish[task.task_id])
         return best
 
+    def critical_path_tasks(self, weight=None) -> list[TaskInstance]:
+        """The tasks on (one) longest path, in execution order.
+
+        *weight* maps a task to its cost (default: unit weights, so the
+        path realises :meth:`critical_path_length`).  Ties are broken by
+        lowest predecessor id, making the result deterministic.
+        Requires ``keep_finished`` — a retired graph has no nodes left
+        to walk.
+        """
+
+        if weight is None:
+            weight = lambda _task: 1.0  # noqa: E731
+        finish: dict[int, float] = {}
+        best_pred: dict[int, Optional[TaskInstance]] = {}
+        tail: Optional[TaskInstance] = None
+        for task in self:  # id order = topological
+            start, chosen = 0.0, None
+            for pred in sorted(task.predecessors, key=lambda t: t.task_id):
+                pred_finish = finish.get(pred.task_id, 0.0)
+                if pred_finish > start:
+                    start, chosen = pred_finish, pred
+            finish[task.task_id] = start + weight(task)
+            best_pred[task.task_id] = chosen
+            if tail is None or finish[task.task_id] > finish[tail.task_id]:
+                tail = task
+        path: list[TaskInstance] = []
+        while tail is not None:
+            path.append(tail)
+            tail = best_pred[tail.task_id]
+        path.reverse()
+        return path
+
     def to_networkx(self):
         """Export to a :class:`networkx.DiGraph` (Figure 5 style)."""
 

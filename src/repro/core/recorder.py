@@ -28,6 +28,7 @@ graphs (the paper's 374,272-task Cholesky) to be built in seconds.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Literal, Optional
 
 from . import api as _api
@@ -48,6 +49,9 @@ class RecordedProgram:
     #: Submission stream: ("task", TaskInstance) | ("barrier",) |
     #: ("wait", TaskInstance)
     events: list[tuple] = field(default_factory=list)
+    #: Analysis-side aggregates (per-task analysis time, renames);
+    #: populated by :meth:`RecordingRuntime.finish`.
+    metrics: object = None
 
     @property
     def tasks(self) -> list[TaskInstance]:
@@ -56,6 +60,21 @@ class RecordedProgram:
     @property
     def task_count(self) -> int:
         return sum(1 for e in self.events if e[0] == "task")
+
+    def critical_path(self, weight=None) -> list[TaskInstance]:
+        """Tasks on the longest path (unit weights by default)."""
+
+        return self.graph.critical_path_tasks(weight)
+
+    def to_dot(self, weight=None, highlight_critical: bool = True) -> str:
+        """Graphviz text with the critical path highlighted — the
+        TEMANEJO-style debugging view of the recorded DAG."""
+
+        from ..obs.export import graph_to_dot
+
+        return graph_to_dot(
+            self.graph, weight=weight, highlight_critical=highlight_critical
+        )
 
 
 class RecordingRuntime:
@@ -81,6 +100,10 @@ class RecordingRuntime:
         )
         self.constants = constants or {}
         self.events: list[tuple] = []
+        from ..obs.metrics import MetricsRegistry
+
+        self.metrics = MetricsRegistry()
+        self._m_analysis = self.metrics.histogram("analysis_seconds")
         self._entered = False
         self._in_task = False
 
@@ -90,7 +113,9 @@ class RecordingRuntime:
     # -- active-runtime protocol ------------------------------------------
     def submit(self, definition, args: tuple, kwargs: dict) -> TaskInstance:
         task = instantiate(definition, args, kwargs, self.constants)
+        t0 = perf_counter()
         self.tracker.analyze(task)
+        self._m_analysis.observe(perf_counter() - t0)
         self.events.append(("task", task))
         if self.execute == "eager":
             # Run the body now: every predecessor already ran its body
@@ -144,7 +169,16 @@ class RecordingRuntime:
     def finish(self) -> RecordedProgram:
         """Close the recording and return the program description."""
 
-        return RecordedProgram(graph=self.graph, events=list(self.events))
+        self.metrics.gauge("graph.total_tasks").set(
+            self.graph.stats.total_tasks
+        )
+        self.metrics.gauge("graph.total_edges").set(
+            self.graph.stats.total_edges
+        )
+        self.metrics.gauge("graph.renames").set(self.graph.stats.renames)
+        return RecordedProgram(
+            graph=self.graph, events=list(self.events), metrics=self.metrics
+        )
 
 
 def record_program(

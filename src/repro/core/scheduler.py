@@ -27,8 +27,8 @@ locality motivation (section VII.D).
 
 from __future__ import annotations
 
-from collections import deque
-from dataclasses import dataclass
+from collections import Counter, deque
+from dataclasses import dataclass, field
 from typing import Optional
 
 from .task import TaskInstance, TaskState
@@ -50,6 +50,35 @@ class SchedulerStats:
     pops_main: int = 0
     steals: int = 0
     failed_pops: int = 0
+    #: Pop attempts that ended in the steal scan finding every victim
+    #: deque empty.  The fast empty-check in :meth:`SmpssScheduler.pop`
+    #: stands in for that full scan, so its failures count here too.
+    failed_steals: int = 0
+    #: Per-thread breakdowns (thread index -> count).
+    pops_by_thread: Counter = field(default_factory=Counter)
+    steals_by_thief: Counter = field(default_factory=Counter)
+    steals_by_victim: Counter = field(default_factory=Counter)
+    failed_pops_by_thread: Counter = field(default_factory=Counter)
+
+    def as_dict(self) -> dict:
+        """Flat dict form, the shape :class:`~repro.obs.MetricsRegistry`
+        ingests (satellite of the observability issue: stats travel
+        through the registry, not ad-hoc dataclass reads)."""
+
+        return {
+            "pushed_new": self.pushed_new,
+            "pushed_unlocked": self.pushed_unlocked,
+            "pops_high": self.pops_high,
+            "pops_local": self.pops_local,
+            "pops_main": self.pops_main,
+            "steals": self.steals,
+            "failed_pops": self.failed_pops,
+            "failed_steals": self.failed_steals,
+            "pops_by_thread": dict(self.pops_by_thread),
+            "steals_by_thief": dict(self.steals_by_thief),
+            "steals_by_victim": dict(self.steals_by_victim),
+            "failed_pops_by_thread": dict(self.failed_pops_by_thread),
+        }
 
 
 class SmpssScheduler:
@@ -69,7 +98,10 @@ class SmpssScheduler:
         self.main: deque[TaskInstance] = deque()
         self.locals: list[deque[TaskInstance]] = [deque() for _ in range(num_threads)]
         self.stats = SchedulerStats()
-        self.tracer = tracer
+        # Normalise falsy tracers (NullTracer) to None: the push/pop hot
+        # path then pays a plain None check instead of a Python-level
+        # __bool__ call per operation (~5% on this path).
+        self.tracer = tracer if tracer else None
         self._ready_count = 0
 
     # ------------------------------------------------------------------
@@ -108,7 +140,7 @@ class SmpssScheduler:
         self.stats.pushed_unlocked += 1
         self._ready_count += 1
         if self.tracer:
-            self.tracer.task_ready(task)
+            self.tracer.task_ready(task, thread)
 
     # ------------------------------------------------------------------
     # selection
@@ -118,13 +150,19 @@ class SmpssScheduler:
 
         if self._ready_count == 0:
             self.stats.failed_pops += 1
+            self.stats.failed_pops_by_thread[thread] += 1
+            # Every list being empty means the steal scan would have
+            # come up dry as well — the fast path subsumes it.
+            self.stats.failed_steals += 1
             return None
         task = self._select(thread)
         if task is None:
             self.stats.failed_pops += 1
+            self.stats.failed_pops_by_thread[thread] += 1
             return None
         task.state = TaskState.RUNNING
         self._ready_count -= 1
+        self.stats.pops_by_thread[thread] += 1
         return task
 
     def _select(self, thread: int) -> Optional[TaskInstance]:
@@ -147,10 +185,13 @@ class SmpssScheduler:
             queue = self.locals[victim]
             if queue:
                 self.stats.steals += 1
+                self.stats.steals_by_thief[thread] += 1
+                self.stats.steals_by_victim[victim] += 1
                 task = queue.popleft()
                 if self.tracer:
                     self.tracer.steal(task, thief=thread, victim=victim)
                 return task
+        self.stats.failed_steals += 1
         return None
 
     # ------------------------------------------------------------------
@@ -190,10 +231,13 @@ class HotStealScheduler(SmpssScheduler):
             queue = self.locals[victim]
             if queue:
                 self.stats.steals += 1
+                self.stats.steals_by_thief[thread] += 1
+                self.stats.steals_by_victim[victim] += 1
                 task = queue.pop()  # LIFO end: the victim's hot task
                 if self.tracer:
                     self.tracer.steal(task, thief=thread, victim=victim)
                 return task
+        self.stats.failed_steals += 1
         return None
 
 
@@ -211,7 +255,7 @@ class CentralQueueScheduler:
         self.high: deque[TaskInstance] = deque()
         self.queue: deque[TaskInstance] = deque()
         self.stats = SchedulerStats()
-        self.tracer = tracer
+        self.tracer = tracer if tracer else None  # see SmpssScheduler
         self._ready_count = 0
 
     def push_new(self, task: TaskInstance) -> None:
@@ -228,17 +272,19 @@ class CentralQueueScheduler:
         self.stats.pushed_unlocked += 1
         self._ready_count += 1
         if self.tracer:
-            self.tracer.task_ready(task)
+            self.tracer.task_ready(task, thread)
 
     def pop(self, thread: int) -> Optional[TaskInstance]:
         source = self.high if self.high else self.queue
         if not source:
             self.stats.failed_pops += 1
+            self.stats.failed_pops_by_thread[thread] += 1
             return None
         task = source.popleft()
         task.state = TaskState.RUNNING
         self._ready_count -= 1
         self.stats.pops_main += 1
+        self.stats.pops_by_thread[thread] += 1
         return task
 
     @property

@@ -1,0 +1,61 @@
+"""repro.obs — observability for the SMPSs reproduction.
+
+The paper ships a *tracing-enabled runtime* whose Paraver traces are
+how its authors diagnosed scheduler locality and the small-block
+runtime-overhead wall (section VII.A).  This package is that story for
+the Python reproduction, richer and cheaper:
+
+* :class:`MetricsRegistry` — counters/gauges/histograms the runtimes
+  populate (per-task-type durations, analysis and barrier overhead,
+  steal/rename counts, ready-queue depths, renaming footprint);
+* :class:`~repro.core.tracing.ThreadLocalTracer` — per-thread
+  ring-buffer trace collection (re-exported here) replacing the
+  shared-list hot path under the threaded backend;
+* exporters — Chrome trace-event JSON (Perfetto-loadable) and
+  Graphviz DOT with the critical path highlighted;
+* the critical-path / utilisation analyzer behind
+  ``Runtime.report()`` and ``python -m repro.obs report trace.json``.
+
+See ``docs/observability.md`` for the metrics catalogue and usage.
+"""
+
+from ..core.tracing import ThreadLocalTracer
+from .analyze import (
+    ThreadUsage,
+    TraceReport,
+    analyze_events,
+    analyze_tracer,
+    load_chrome_trace,
+    render_report,
+    runtime_report,
+)
+from .export import graph_to_dot, to_chrome_trace, write_chrome_trace, write_dot
+from .metrics import (
+    CounterMetric,
+    GaugeMetric,
+    HistogramMetric,
+    MetricsRegistry,
+    default_metrics,
+    reset_default_metrics,
+)
+
+__all__ = [
+    "CounterMetric",
+    "GaugeMetric",
+    "HistogramMetric",
+    "MetricsRegistry",
+    "default_metrics",
+    "reset_default_metrics",
+    "ThreadLocalTracer",
+    "ThreadUsage",
+    "TraceReport",
+    "analyze_events",
+    "analyze_tracer",
+    "load_chrome_trace",
+    "render_report",
+    "runtime_report",
+    "graph_to_dot",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "write_dot",
+]

@@ -1,0 +1,49 @@
+"""Post-mortem trace analysis from the command line.
+
+Usage::
+
+    python -m repro.obs report trace.json            # full text report
+    python -m repro.obs report trace.json --threads 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analyze import analyze_events, load_chrome_trace, render_report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Analyze exported SMPSs traces (Chrome trace JSON).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    report = sub.add_parser(
+        "report", help="makespan/utilisation/locality report for a trace"
+    )
+    report.add_argument("trace", help="Chrome trace JSON (write_chrome_trace)")
+    report.add_argument(
+        "--threads", type=int, default=None,
+        help="thread count (include threads that never ran a task)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.command == "report":
+        try:
+            events = load_chrome_trace(args.trace)
+        except (OSError, ValueError) as exc:
+            print(f"cannot read trace {args.trace!r}: {exc}", file=sys.stderr)
+            return 1
+        if not events:
+            print(f"no recognisable events in {args.trace!r}", file=sys.stderr)
+            return 1
+        trace_report = analyze_events(events, num_threads=args.threads)
+        print(render_report(trace_report, title=args.trace))
+        return 0
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,285 @@
+"""A small process-local metrics registry (counters, gauges, histograms).
+
+The paper's authors diagnosed their runtime with Paraver traces
+(section VII.A); traces answer *when* questions, but the recurring
+*how much* questions — per-task-type durations, analysis overhead,
+barrier wait, steal/rename counts, ready-queue depths, renaming memory
+footprint — want aggregates that survive when full tracing is off.
+This registry is that aggregate layer: the runtimes own one each and
+publish into a process-wide default registry on shutdown, which the
+benchmark harness snapshots into a ``*.metrics.json`` next to each
+figure file.
+
+Design notes:
+
+* metrics are keyed by ``(name, sorted labels)``, Prometheus-style, so
+  ``registry.histogram("task_duration_seconds", task="sgemm_t")`` and
+  the same name with ``task="strsm_t"`` are separate series;
+* lookup returns the *same* object every time — hot paths cache the
+  returned metric and pay one attribute increment per event;
+* histograms bucket by power of two (``math.frexp`` exponent), cheap
+  enough for per-task observation and sufficient for the order-of-
+  magnitude questions (is analysis 1us or 100us?) the paper's section
+  VI block-size discussion turns on.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+import time
+from typing import Iterator, Optional
+
+__all__ = [
+    "CounterMetric",
+    "GaugeMetric",
+    "HistogramMetric",
+    "MetricsRegistry",
+    "default_metrics",
+    "reset_default_metrics",
+]
+
+
+class CounterMetric:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: tuple):
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def snapshot(self):
+        return self.value
+
+
+class GaugeMetric:
+    """A value that goes up and down (queue depth, live bytes)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: tuple):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value) -> None:
+        self.value = value
+
+    def inc(self, amount=1) -> None:
+        self.value += amount
+
+    def dec(self, amount=1) -> None:
+        self.value -= amount
+
+    def snapshot(self):
+        return self.value
+
+
+class HistogramMetric:
+    """Count/sum/min/max plus power-of-two buckets.
+
+    Bucket keys are the binary exponent of the observed value
+    (``frexp(v)[1]``): values in ``[2**(k-1), 2**k)`` land in bucket
+    ``k``.  Negative and zero observations land in a single underflow
+    bucket (key ``None`` in the snapshot).
+    """
+
+    __slots__ = ("name", "labels", "count", "sum", "min", "max", "buckets")
+
+    def __init__(self, name: str, labels: tuple):
+        self.name = name
+        self.labels = labels
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.buckets: dict = {}
+
+    def observe(self, value) -> None:
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        key = math.frexp(value)[1] if value > 0 else None
+        self.buckets[key] = self.buckets.get(key, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "buckets": {
+                ("underflow" if k is None else f"<2^{k}"): n
+                for k, n in sorted(
+                    self.buckets.items(),
+                    key=lambda kv: (-math.inf if kv[0] is None else kv[0]),
+                )
+            },
+        }
+
+
+def _labels_key(labels: dict) -> tuple:
+    return tuple(sorted(labels.items()))
+
+
+class MetricsRegistry:
+    """Factory and container for named metrics.
+
+    Not internally locked on the metric hot paths — the owning runtime
+    serialises updates the same way it serialises its graph (threaded
+    backend: under the runtime lock; simulator/recorder: single
+    threaded).  Registration and merging take a lock so concurrent
+    first-touch from two threads stays safe.
+    """
+
+    def __init__(self):
+        self._metrics: dict[tuple, object] = {}
+        self._lock = threading.Lock()
+
+    # -- factories ---------------------------------------------------------
+    def _get(self, cls, name: str, labels: dict):
+        key = (name, _labels_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            with self._lock:
+                metric = self._metrics.get(key)
+                if metric is None:
+                    metric = cls(name, key[1])
+                    self._metrics[key] = metric
+        elif type(metric) is not cls:
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}, not {cls.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str, **labels) -> CounterMetric:
+        return self._get(CounterMetric, name, labels)
+
+    def gauge(self, name: str, **labels) -> GaugeMetric:
+        return self._get(GaugeMetric, name, labels)
+
+    def histogram(self, name: str, **labels) -> HistogramMetric:
+        return self._get(HistogramMetric, name, labels)
+
+    def timer(self, name: str, **labels) -> "_Timer":
+        """``with registry.timer("analysis_seconds"):`` observes the
+        elapsed wall-clock into the named histogram."""
+
+        return _Timer(self.histogram(name, **labels))
+
+    # -- ingestion ---------------------------------------------------------
+    def ingest_scheduler_stats(self, stats, prefix: str = "scheduler") -> None:
+        """Mirror a :class:`~repro.core.scheduler.SchedulerStats` into
+        gauges, including the per-thread breakdowns."""
+
+        for key, value in stats.as_dict().items():
+            if isinstance(value, dict):
+                for thread, count in value.items():
+                    self.gauge(f"{prefix}.{key}", thread=thread).set(count)
+            else:
+                self.gauge(f"{prefix}.{key}").set(value)
+
+    # -- introspection -----------------------------------------------------
+    def __iter__(self) -> Iterator:
+        return iter(list(self._metrics.values()))
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def snapshot(self) -> dict:
+        """Nested plain-data form: ``{name: {label_repr: value}}``.
+
+        Unlabelled metrics collapse to ``{name: value}``.
+        """
+
+        out: dict = {}
+        with self._lock:
+            items = list(self._metrics.items())
+        for (name, labels), metric in sorted(items, key=lambda kv: kv[0]):
+            value = metric.snapshot()
+            if not labels:
+                out[name] = value
+            else:
+                label_repr = ",".join(f"{k}={v}" for k, v in labels)
+                out.setdefault(name, {})[label_repr] = value
+        return out
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent, default=str)
+
+    # -- merging -----------------------------------------------------------
+    def absorb(self, other: "MetricsRegistry") -> None:
+        """Fold *other*'s metrics into this registry.
+
+        Counters and histogram tallies add; gauges take the absorbed
+        value (last write wins) — the semantics a shutdown publish into
+        the process default registry wants.
+        """
+
+        with other._lock:
+            items = list(other._metrics.items())
+        for (name, labels), metric in items:
+            labels_dict = dict(labels)
+            if isinstance(metric, CounterMetric):
+                self.counter(name, **labels_dict).inc(metric.value)
+            elif isinstance(metric, GaugeMetric):
+                self.gauge(name, **labels_dict).set(metric.value)
+            elif isinstance(metric, HistogramMetric):
+                mine = self.histogram(name, **labels_dict)
+                mine.count += metric.count
+                mine.sum += metric.sum
+                mine.min = min(mine.min, metric.min)
+                mine.max = max(mine.max, metric.max)
+                for key, n in metric.buckets.items():
+                    mine.buckets[key] = mine.buckets.get(key, 0) + n
+
+
+class _Timer:
+    __slots__ = ("histogram", "_start")
+
+    def __init__(self, histogram: HistogramMetric):
+        self.histogram = histogram
+        self._start = 0.0
+
+    def __enter__(self) -> "_Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.histogram.observe(time.perf_counter() - self._start)
+
+
+# ---------------------------------------------------------------------------
+# process default registry (what the bench harness snapshots)
+# ---------------------------------------------------------------------------
+
+_default: Optional[MetricsRegistry] = MetricsRegistry()
+
+
+def default_metrics() -> MetricsRegistry:
+    """The process-wide registry runtimes publish into at shutdown."""
+
+    return _default
+
+
+def reset_default_metrics() -> MetricsRegistry:
+    """Swap in a fresh default registry; returns the new one."""
+
+    global _default
+    _default = MetricsRegistry()
+    return _default

@@ -40,6 +40,9 @@ class SimResult:
     total_flops: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Virtual time each core spent paying steal overhead (included in
+    #: its busy_time); the per-core steal cost the report breaks out.
+    steal_time: list[float] = field(default_factory=list)
     extras: dict = field(default_factory=dict)
 
     @property
@@ -88,6 +91,7 @@ class VirtualMachine:
         #: run_static mode: core 0 is a plain worker, not the main thread.
         self.main_is_worker = False
         self.busy_time = [0.0] * cores
+        self.steal_time = [0.0] * cores
         self.tasks_executed = 0
         self.last_finish = 0.0
         #: Virtual timestamp of the event being processed; a Tracer
@@ -120,6 +124,7 @@ class VirtualMachine:
         duration = self.cost.duration(task, self.caches[core])
         if stolen:
             duration += self.machine.steal_overhead
+            self.steal_time[core] += self.machine.steal_overhead
         finish = start + duration
         self._seq += 1
         heapq.heappush(self.running, (finish, self._seq, core, task))
@@ -212,6 +217,7 @@ class VirtualMachine:
             total_flops=self.cost.total_flops,
             cache_hits=sum(c.hits for c in self.caches),
             cache_misses=sum(c.misses for c in self.caches),
+            steal_time=list(self.steal_time),
         )
 
 

@@ -59,10 +59,16 @@ class SimulatedRuntime:
             ),
         )
         if trace and tracer is None:
-            from ..core.tracing import Tracer
+            from ..core.tracing import ThreadLocalTracer
 
-            tracer = Tracer()  # clock wired to virtual time below
+            # Same per-thread-buffer tracer as the threaded backend;
+            # the virtual clock is injected unchanged below (emission
+            # is single-threaded here, so one buffer, stable order).
+            tracer = ThreadLocalTracer()
         self.tracer = tracer
+        from ..obs.metrics import MetricsRegistry
+
+        self.metrics = MetricsRegistry()
         self.scheduler = scheduler_factory(machine.cores, tracer=tracer)
         self.vm = VirtualMachine(machine, self.graph, self.scheduler, self.cost, tracer)
         if tracer is not None:
@@ -169,11 +175,46 @@ class SimulatedRuntime:
         if self._entered:
             _api.pop_runtime(self)
             self._entered = False
+            from ..obs.metrics import default_metrics
+
+            self._sync_metrics()
+            default_metrics().absorb(self.metrics)
+
+    def _sync_metrics(self) -> None:
+        """Mirror simulator aggregates into the metrics registry."""
+
+        m = self.metrics
+        m.gauge("sim.makespan_virtual_seconds").set(
+            max(self.main_clock, self.vm.last_finish)
+        )
+        m.gauge("sim.tasks_submitted").set(self.tasks_submitted)
+        m.gauge("tasks_executed").set(self.vm.tasks_executed)
+        m.gauge("graph.renames").set(self.graph.stats.renames)
+        for core, busy in enumerate(self.vm.busy_time):
+            m.gauge("sim.busy_virtual_seconds", thread=core).set(busy)
+        for core, steal in enumerate(self.vm.steal_time):
+            if steal:
+                m.gauge("sim.steal_virtual_seconds", thread=core).set(steal)
+        m.ingest_scheduler_stats(self.scheduler.stats)
+
+    @property
+    def num_threads(self) -> int:
+        return self.machine.cores
+
+    def report(self, title: str = "simulated runtime report") -> str:
+        """Text summary over the virtual-time trace (needs
+        ``trace=True``); mirrors ``SmpssRuntime.report()``."""
+
+        from ..obs.analyze import runtime_report
+
+        self._sync_metrics()
+        return runtime_report(self, title=title)
 
     def result(self) -> SimResult:
         res = self.vm.result(self.main_clock)
         res.extras["tasks_submitted"] = self.tasks_submitted
         res.extras["renames"] = self.graph.stats.renames
+        self._sync_metrics()
         return res
 
 

@@ -1,9 +1,19 @@
 """Tests for the tracing-enabled runtime (section VII.A)."""
 
+import threading
+
 import numpy as np
+import pytest
 
 from repro import SmpssRuntime, css_task
-from repro.core.tracing import EventKind, NullTracer, Tracer
+from repro.core.tracing import (
+    EventKind,
+    NullTracer,
+    ThreadLocalTracer,
+    Tracer,
+)
+
+pytestmark = pytest.mark.obs
 
 
 @css_task("inout(a)")
@@ -75,3 +85,113 @@ class TestNullTracer:
         tracer.task_start(None, 3)
         tracer.anything_at_all(1, 2, 3)
         assert tracer.events == []
+
+    def test_events_not_shared_between_instances(self):
+        """Regression: ``events`` was a class-level mutable list, so one
+        instance's pollution showed up on every other NullTracer."""
+
+        first, second = NullTracer(), NullTracer()
+        assert first.events is not second.events
+        first.events.append("polluted")
+        assert second.events == []
+        assert NullTracer().events == []
+
+
+class TestTaskReadyThread:
+    def test_task_ready_records_releasing_thread(self):
+        class _Task:
+            task_id, name = 7, "t"
+
+        tracer = Tracer(clock=lambda: 0.0)
+        tracer.task_ready(_Task())
+        tracer.task_ready(_Task(), 2)
+        ready = tracer.of_kind(EventKind.TASK_READY)
+        assert [e.thread for e in ready] == [-1, 2]
+
+
+class TestThreadLocalTracer:
+    def test_same_interface_and_queries(self):
+        """Drop-in for Tracer: same emit API, same post-mortem queries."""
+
+        a = np.zeros(1)
+        rt = SmpssRuntime(num_workers=2, trace=True)
+        with rt:
+            for _ in range(5):
+                bump(a)
+            rt.barrier()
+        tracer = rt.tracer
+        assert isinstance(tracer, ThreadLocalTracer)
+        counts = tracer.counts()
+        assert counts[EventKind.TASK_START] == 5
+        assert counts[EventKind.TASK_END] == 5
+        assert len(tracer.task_intervals()) == 5
+        assert sum(tracer.busy_time_by_thread().values()) > 0
+        assert tracer.makespan() >= 0
+        assert tracer.to_paraver().startswith("#Paraver")
+
+    def test_merge_is_time_ordered(self):
+        tracer = ThreadLocalTracer()
+        barrier = threading.Barrier(3)
+
+        class _Task:
+            task_id, name = 1, "t"
+
+        def emit(thread_id):
+            barrier.wait()
+            for _ in range(200):
+                tracer.task_start(_Task(), thread_id)
+        threads = [
+            threading.Thread(target=emit, args=(i,)) for i in (1, 2, 3)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        events = tracer.events
+        assert len(events) == 600
+        times = [e.time for e in events]
+        assert times == sorted(times)
+        # All three buffers contributed.
+        assert {e.thread for e in events} == {1, 2, 3}
+
+    def test_ring_buffer_drops_oldest_and_counts(self):
+        tracer = ThreadLocalTracer(clock=lambda: 0.0, capacity=4)
+
+        class _Task:
+            name = "t"
+
+            def __init__(self, i):
+                self.task_id = i
+
+        for i in range(10):
+            tracer.task_start(_Task(i), 0)
+        assert len(tracer.events) == 4
+        assert tracer.dropped_events == 6
+        # The survivors are the *newest* events.
+        assert [e.task_id for e in tracer.events] == [6, 7, 8, 9]
+
+    def test_virtual_clock_injection(self):
+        times = iter(range(100))
+        tracer = ThreadLocalTracer(clock=lambda: float(next(times)))
+        tracer.barrier_enter()
+        tracer.barrier_exit()
+        assert [e.time for e in tracer.events] == [0.0, 1.0]
+        # Swapping the clock afterwards (VirtualMachine.wire_tracer
+        # style) affects subsequent events only.
+        tracer.clock = lambda: 50.0
+        tracer.write_back(1)
+        assert tracer.events[-1].time == 50.0
+
+    def test_per_thread_buffers_registered_lazily(self):
+        tracer = ThreadLocalTracer()
+        assert len(tracer._buffers) == 0
+        tracer.barrier_enter()
+        assert len(tracer._buffers) == 1
+
+        def other():
+            tracer.barrier_enter()
+
+        t = threading.Thread(target=other)
+        t.start()
+        t.join()
+        assert len(tracer._buffers) == 2
