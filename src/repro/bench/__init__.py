@@ -4,9 +4,35 @@
 returns a :class:`repro.bench.harness.FigureResult` whose ``table()``
 prints the same rows/series the paper plots.  The pytest-benchmark
 drivers in ``benchmarks/`` call these entry points.
+
+On top of the figures sits the continuous-benchmarking layer
+(``docs/benchmarking.md``): :mod:`~repro.bench.registry` knows how to
+run each figure (with ``--repeat`` aggregation and provenance),
+:mod:`~repro.bench.stats` supplies the robust statistics and
+noise-aware thresholds, and :mod:`~repro.bench.compare` gates a run
+against the committed baselines under ``benchmarks/baselines/``.
 """
 
+from .compare import compare_against_baselines, compare_figures
 from .harness import FigureResult, Series
+from .provenance import SCHEMA_VERSION, collect_provenance
+from .registry import run_figure_once, run_figure_repeated
+from .stats import aggregate_figures, iqr, median, noise_threshold, quantile
 from . import experiments
 
-__all__ = ["FigureResult", "Series", "experiments"]
+__all__ = [
+    "FigureResult",
+    "Series",
+    "experiments",
+    "SCHEMA_VERSION",
+    "collect_provenance",
+    "run_figure_once",
+    "run_figure_repeated",
+    "aggregate_figures",
+    "median",
+    "quantile",
+    "iqr",
+    "noise_threshold",
+    "compare_figures",
+    "compare_against_baselines",
+]

@@ -281,6 +281,7 @@ def fig14_multisort(
     n: int = 2 ** 22,
     quicksize: int = 32768,
     threads=THREAD_SWEEP,
+    seed: int = 0,
 ) -> FigureResult:
     fig = FigureResult(
         "Figure 14",
@@ -289,6 +290,10 @@ def fig14_multisort(
         "speedup vs sequential",
         list(threads),
     )
+    # Deterministic input: the recursion topology itself is
+    # data-independent, but seeding keeps repeated/CI runs bitwise
+    # reproducible (uninitialised np.empty memory is not).
+    rng = np.random.default_rng(seed)
     # Sequential reference: the same algorithm, no task overheads.
     seq_time = build_multisort_dag(n, quicksize, "seq").total_work
 
@@ -309,8 +314,8 @@ def fig14_multisort(
     values = []
     for t in threads:
         machine = ALTIX_32.with_cores(t)
-        data = np.empty(n, np.float32)
-        tmp = np.empty(n, np.float32)
+        data = rng.random(n, dtype=np.float32)
+        tmp = np.zeros(n, np.float32)
         res = simulate_program(
             multisort.multisort_recursive_merge_topology,
             data, tmp, quicksize,
@@ -328,6 +333,9 @@ def fig14_multisort(
 # ---------------------------------------------------------------------------
 
 def _nqueens_times(n: int, task_levels: int, threads) -> dict[str, list[float]]:
+    # The N Queens input is just the board size, so Figures 15/16 are
+    # fully deterministic — nothing to seed (noted for the --repeat /
+    # baseline-gate workflow, which assumes repeats are comparable).
     # Virtual per-node cost derived from the paper's ~250 us task
     # granularity guidance (section I) so overhead-to-work ratios stay
     # faithful at Python-searchable board sizes.

@@ -30,8 +30,15 @@ class FigureResult:
     x: list
     series: list[Series] = field(default_factory=list)
     notes: list[str] = field(default_factory=list)
-    #: free-form extras (task counts, utilisations, ...)
+    #: free-form extras (task counts, utilisations, ...) — not
+    #: serialised (keys may be tuples)
     extras: dict = field(default_factory=dict)
+    #: run provenance (git sha, host, versions, repeats) — see
+    #: :func:`repro.bench.provenance.collect_provenance`
+    provenance: dict = field(default_factory=dict)
+    #: per-series per-point spread (IQR across ``--repeat`` runs),
+    #: filled by :func:`repro.bench.stats.aggregate_figures`
+    spread: dict = field(default_factory=dict)
 
     def add(self, label: str, values: Sequence[float]) -> Series:
         if len(values) != len(self.x):
@@ -119,22 +126,51 @@ class FigureResult:
         return buffer.getvalue()
 
     def to_json(self) -> str:
-        """JSON document with axes, series and notes."""
+        """JSON document with axes, series, notes, provenance, spread."""
 
         import json
 
-        return json.dumps(
-            {
-                "figure_id": self.figure_id,
-                "title": self.title,
-                "xlabel": self.xlabel,
-                "ylabel": self.ylabel,
-                "x": list(self.x),
-                "series": {s.label: s.values for s in self.series},
-                "notes": list(self.notes),
-            },
-            indent=2,
+        doc = {
+            "figure_id": self.figure_id,
+            "title": self.title,
+            "xlabel": self.xlabel,
+            "ylabel": self.ylabel,
+            "x": list(self.x),
+            "series": {s.label: s.values for s in self.series},
+            "notes": list(self.notes),
+        }
+        if self.provenance:
+            doc["provenance"] = self.provenance
+        if self.spread:
+            doc["spread"] = self.spread
+        return json.dumps(doc, indent=2)
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "FigureResult":
+        """Rebuild a figure from its :meth:`to_json` document."""
+
+        fig = cls(
+            doc["figure_id"],
+            doc.get("title", ""),
+            doc.get("xlabel", "x"),
+            doc.get("ylabel", "y"),
+            list(doc.get("x", [])),
+            notes=list(doc.get("notes", [])),
+            provenance=dict(doc.get("provenance", {})),
+            spread={k: list(v) for k, v in doc.get("spread", {}).items()},
         )
+        for label, values in doc.get("series", {}).items():
+            fig.add(label, values)
+        return fig
+
+    @classmethod
+    def load(cls, path: str) -> "FigureResult":
+        """Load a figure saved as JSON (the inverse of ``save``)."""
+
+        import json
+
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))
 
     def save(self, path: str) -> None:
         """Write the figure to *path* (.csv or .json by extension)."""

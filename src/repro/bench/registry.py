@@ -1,0 +1,112 @@
+"""The figure registry: which figures exist and how to run them.
+
+``repro.bench`` (the CLI) and ``repro.bench.compare`` (the baseline
+gate) both need the same three facts about a figure: the experiment
+function that produces it, the reduced quick-mode parameters, and the
+canonical baseline filename.  They live here so the compare path never
+has to import the CLI module.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+from . import experiments as _experiments
+from .provenance import collect_provenance
+from .stats import aggregate_figures
+
+__all__ = [
+    "FIGURES",
+    "QUICK_PARAMS",
+    "baseline_filename",
+    "figure_key_for_baseline",
+    "run_figure_once",
+    "run_figure_repeated",
+]
+
+#: figure key -> experiment function name in :mod:`repro.bench.experiments`.
+FIGURES = {
+    "fig08": "fig08_cholesky_blocksize",
+    "fig11": "fig11_cholesky_scaling",
+    "fig12": "fig12_matmul_scaling",
+    "fig13": "fig13_strassen_scaling",
+    "fig14": "fig14_multisort",
+    "fig15": "fig15_nqueens",
+    "fig16": "fig16_nqueens_scalability",
+}
+
+#: Reduced-scale parameters for ``--quick`` (laptop/CI smoke runs).
+QUICK_PARAMS = {
+    "fig08": dict(n=1024, block_sizes=(32, 64, 128, 256), cores=8),
+    "fig11": dict(n=2048, m=256, threads=(1, 2, 4, 8)),
+    "fig12": dict(n=2048, m=512, threads=(1, 2, 4, 8)),
+    "fig13": dict(n=2048, m=512, threads=(1, 2, 4, 8)),
+    "fig14": dict(n=1 << 18, quicksize=1 << 13, threads=(1, 2, 4, 8)),
+    "fig15": dict(n=9, threads=(1, 2, 4, 8)),
+    "fig16": dict(n=9, threads=(1, 2, 4, 8)),
+}
+
+
+def baseline_filename(key: str) -> str:
+    """``fig11`` -> ``BENCH_fig11_cholesky_scaling.json``."""
+
+    return f"BENCH_{FIGURES[key]}.json"
+
+
+def figure_key_for_baseline(filename: str) -> str | None:
+    """Inverse of :func:`baseline_filename`; None for foreign files."""
+
+    name = filename.rsplit("/", 1)[-1]
+    if not (name.startswith("BENCH_") and name.endswith(".json")):
+        return None
+    stem = name[len("BENCH_"):-len(".json")]
+    for key, func_name in FIGURES.items():
+        if func_name == stem:
+            return key
+    return None
+
+
+def run_figure_once(key: str, quick: bool = False, seed: int | None = None):
+    """Run one figure's experiment function and return its FigureResult.
+
+    *seed* is forwarded only to experiment functions that declare a
+    ``seed`` parameter (the input-data-dependent figures); the purely
+    structural simulations ignore it.
+    """
+
+    func = getattr(_experiments, FIGURES[key])
+    params = dict(QUICK_PARAMS[key]) if quick else {}
+    if seed is not None:
+        try:
+            accepts_seed = "seed" in inspect.signature(func).parameters
+        except (TypeError, ValueError):
+            accepts_seed = False
+        if accepts_seed:
+            params["seed"] = seed
+    return func(**params)
+
+
+def run_figure_repeated(
+    key: str,
+    quick: bool = False,
+    repeats: int = 1,
+    seed: int | None = None,
+):
+    """Run a figure ``repeats`` times, aggregate, stamp provenance.
+
+    The result's series hold per-point medians across the repeats and
+    ``spread`` holds the per-point IQR (zero for the deterministic
+    simulated figures); ``provenance`` records where the numbers came
+    from so the figure is committable as a baseline.
+    """
+
+    repeats = max(int(repeats), 1)
+    runs = [run_figure_once(key, quick=quick, seed=seed) for _ in range(repeats)]
+    fig = aggregate_figures(runs) if len(runs) > 1 else runs[0]
+    fig.provenance = collect_provenance(
+        repeats=repeats,
+        scale="quick" if quick else "paper",
+        seed=seed,
+        figure=key,
+    )
+    return fig

@@ -14,9 +14,15 @@ the Python reproduction, richer and cheaper:
 * exporters — Chrome trace-event JSON (Perfetto-loadable) and
   Graphviz DOT with the critical path highlighted;
 * the critical-path / utilisation analyzer behind
-  ``Runtime.report()`` and ``python -m repro.obs report trace.json``.
+  ``Runtime.report()`` and ``python -m repro.obs report trace.json``;
+* the differential analyzer (:mod:`repro.obs.diff`) behind
+  ``python -m repro.obs diff A.trace.json B.trace.json`` — run-to-run
+  makespan-delta attribution with bootstrap CIs, critical-path
+  composition diffs, and side-by-side Chrome-trace/DOT exports.
 
-See ``docs/observability.md`` for the metrics catalogue and usage.
+See ``docs/observability.md`` for the metrics catalogue and usage,
+and ``docs/benchmarking.md`` for the baseline/compare workflow built
+on the diff engine.
 """
 
 from ..core.tracing import ThreadLocalTracer
@@ -28,6 +34,18 @@ from .analyze import (
     load_chrome_trace,
     render_report,
     runtime_report,
+)
+from .diff import (
+    TraceDiff,
+    critical_chain,
+    diff_figures,
+    diff_metrics,
+    diff_traces,
+    render_figure_diff,
+    render_metrics_diff,
+    render_trace_diff,
+    write_diff_chrome_trace,
+    write_diff_dot,
 )
 from .export import graph_to_dot, to_chrome_trace, write_chrome_trace, write_dot
 from .metrics import (
@@ -58,4 +76,14 @@ __all__ = [
     "to_chrome_trace",
     "write_chrome_trace",
     "write_dot",
+    "TraceDiff",
+    "critical_chain",
+    "diff_traces",
+    "diff_metrics",
+    "diff_figures",
+    "render_trace_diff",
+    "render_metrics_diff",
+    "render_figure_diff",
+    "write_diff_chrome_trace",
+    "write_diff_dot",
 ]

@@ -1,0 +1,743 @@
+"""Differential trace analysis: what got slower between two runs, and why.
+
+The paper's evaluation is entirely comparative — SMPSs against serial
+and fork-join baselines, across block sizes and thread counts — and
+TEMANEJO-style debugging of these runtimes is comparative too: you
+stare at the run that regressed *next to* the run that did not.  This
+module is that workflow over the artifacts the repo already produces:
+
+* **trace diff** (`diff_traces`) — two event lists (live tracers or
+  exported Chrome trace JSONs) become a makespan-delta attribution:
+  per-task-type duration shifts with bootstrap confidence intervals
+  over the per-task samples, the critical-path change (which task
+  types entered or left the chain that ends at the makespan), and a
+  scheduler-behaviour diff (steals, locality hit-rate, utilisation,
+  barrier time);
+* **metrics diff** (`diff_metrics`) — two ``*.metrics.json`` snapshots
+  become per-series deltas (queue depths, analysis overhead, renames);
+* **figure diff** (`diff_figures`) — two saved ``FigureResult`` JSONs
+  become per-series per-point deltas, the form ``repro.bench compare``
+  gates on;
+* **side-by-side exports** — one Chrome trace with run A and run B as
+  two processes (`write_diff_chrome_trace`), and a DOT rendering of
+  both critical chains with entered/left nodes highlighted
+  (`write_diff_dot`).
+
+The critical chain is reconstructed from the trace alone: walking back
+from the last-finishing task, each step follows the ``task_ready``
+event's releasing thread to the task whose completion on that thread
+released the dependency.  No kept graph is needed, so the diff works on
+any two exported traces.
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_right
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..core.tracing import EventKind, TraceEvent
+from .analyze import TraceReport, analyze_events
+
+__all__ = [
+    "ChainLink",
+    "TypeDelta",
+    "BehaviorDelta",
+    "CriticalChainDiff",
+    "TraceDiff",
+    "MetricDelta",
+    "FigurePointDelta",
+    "collect_task_durations",
+    "critical_chain",
+    "bootstrap_mean_delta",
+    "diff_traces",
+    "diff_metrics",
+    "diff_figures",
+    "render_trace_diff",
+    "render_metrics_diff",
+    "render_figure_diff",
+    "diff_chrome_trace",
+    "write_diff_chrome_trace",
+    "diff_to_dot",
+    "write_diff_dot",
+]
+
+
+# ---------------------------------------------------------------------------
+# building blocks
+# ---------------------------------------------------------------------------
+
+def collect_task_durations(events: Sequence[TraceEvent]) -> dict[str, list[float]]:
+    """Per-task-type duration samples (seconds) from an event list."""
+
+    starts: dict[int, TraceEvent] = {}
+    samples: dict[str, list[float]] = {}
+    for event in events:
+        if event.kind == EventKind.TASK_START:
+            starts[event.task_id] = event
+        elif event.kind == EventKind.TASK_END:
+            begin = starts.pop(event.task_id, None)
+            if begin is not None:
+                samples.setdefault(event.task_name, []).append(
+                    event.time - begin.time
+                )
+    return samples
+
+
+@dataclass(frozen=True)
+class ChainLink:
+    """One task on the reconstructed critical chain."""
+
+    task_id: int
+    name: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+def critical_chain(events: Sequence[TraceEvent]) -> list[ChainLink]:
+    """The dependency chain that ends at the makespan, from events only.
+
+    Walk back from the last-finishing task: its ``task_ready`` event
+    names the thread whose completion released its last input
+    dependency; the latest task ending on that thread at or before the
+    ready time is the predecessor.  A task ready at submission
+    (releasing thread ``-1``) terminates the walk.  Returned first to
+    last, so ``chain[-1].end`` is the makespan's right edge.
+    """
+
+    intervals: dict[int, ChainLink] = {}
+    ready: dict[int, tuple[float, int]] = {}
+    starts: dict[int, TraceEvent] = {}
+    for event in events:
+        if event.kind == EventKind.TASK_START:
+            starts[event.task_id] = event
+        elif event.kind == EventKind.TASK_END:
+            begin = starts.pop(event.task_id, None)
+            if begin is not None:
+                intervals[event.task_id] = ChainLink(
+                    event.task_id, event.task_name, begin.time, event.time
+                )
+        elif event.kind == EventKind.TASK_READY:
+            ready[event.task_id] = (event.time, event.thread)
+    if not intervals:
+        return []
+    ends_by_thread: dict[int, list[tuple[float, int]]] = {}
+    end_thread: dict[int, int] = {}
+    for event in events:
+        if event.kind == EventKind.TASK_END and event.task_id in intervals:
+            end_thread[event.task_id] = event.thread
+    for task_id, link in intervals.items():
+        thread = end_thread.get(task_id, -1)
+        ends_by_thread.setdefault(thread, []).append((link.end, task_id))
+    for entries in ends_by_thread.values():
+        entries.sort()
+
+    span = max(l.end for l in intervals.values()) - min(
+        l.start for l in intervals.values()
+    )
+    eps = span * 1e-9 + 1e-12
+
+    current = max(intervals.values(), key=lambda l: l.end)
+    chain = [current]
+    visited = {current.task_id}
+    while True:
+        released = ready.get(current.task_id)
+        if released is None or released[1] < 0:
+            break
+        entries = ends_by_thread.get(released[1])
+        if not entries:
+            break
+        idx = bisect_right(entries, (released[0] + eps, float("inf"))) - 1
+        predecessor = None
+        while idx >= 0:
+            _end, task_id = entries[idx]
+            if task_id not in visited:
+                predecessor = intervals[task_id]
+                break
+            idx -= 1
+        if predecessor is None:
+            break
+        chain.append(predecessor)
+        visited.add(predecessor.task_id)
+        current = predecessor
+    chain.reverse()
+    return chain
+
+
+def bootstrap_mean_delta(
+    samples_a: Sequence[float],
+    samples_b: Sequence[float],
+    n_boot: int = 2000,
+    confidence: float = 0.95,
+    seed: int = 0,
+) -> tuple[float, float]:
+    """Bootstrap CI for ``mean(b) - mean(a)``; deterministic given *seed*.
+
+    Resamples each side with replacement ``n_boot`` times and returns
+    the percentile interval of the mean differences.
+    """
+
+    import numpy as np
+
+    a = np.asarray(list(samples_a), dtype=float)
+    b = np.asarray(list(samples_b), dtype=float)
+    if not len(a) or not len(b):
+        raise ValueError("bootstrap needs non-empty samples on both sides")
+    rng = np.random.default_rng(seed)
+    means_a = a[rng.integers(0, len(a), size=(n_boot, len(a)))].mean(axis=1)
+    means_b = b[rng.integers(0, len(b), size=(n_boot, len(b)))].mean(axis=1)
+    deltas = np.sort(means_b - means_a)
+    alpha = (1.0 - confidence) / 2.0
+    lo = deltas[int(alpha * (n_boot - 1))]
+    hi = deltas[int((1.0 - alpha) * (n_boot - 1))]
+    return float(lo), float(hi)
+
+
+# ---------------------------------------------------------------------------
+# the trace diff
+# ---------------------------------------------------------------------------
+
+@dataclass
+class TypeDelta:
+    """One task type's contribution to the makespan delta."""
+
+    name: str
+    count_a: int
+    count_b: int
+    total_a: float
+    total_b: float
+    mean_a: float
+    mean_b: float
+    #: bootstrap CI on mean_b - mean_a (None when a side has no samples)
+    ci_low: Optional[float] = None
+    ci_high: Optional[float] = None
+
+    @property
+    def delta_total(self) -> float:
+        return self.total_b - self.total_a
+
+    @property
+    def delta_mean(self) -> float:
+        return self.mean_b - self.mean_a
+
+    @property
+    def significant(self) -> bool:
+        """True when the CI excludes zero (or a side is new/gone)."""
+
+        if self.ci_low is None or self.ci_high is None:
+            return self.delta_total != 0.0
+        return self.ci_low > 0.0 or self.ci_high < 0.0
+
+
+@dataclass
+class BehaviorDelta:
+    """One scheduler-behaviour number, before and after."""
+
+    name: str
+    a: float
+    b: float
+    unit: str = ""
+
+    @property
+    def delta(self) -> float:
+        return self.b - self.a
+
+
+@dataclass
+class CriticalChainDiff:
+    """Composition change of the makespan-ending dependency chain."""
+
+    chain_a: list[ChainLink]
+    chain_b: list[ChainLink]
+    #: task types with more instances on B's chain than A's (count delta)
+    entered: dict[str, int] = field(default_factory=dict)
+    #: task types with fewer instances on B's chain (count delta)
+    left: dict[str, int] = field(default_factory=dict)
+    #: per-type time spent on the chain, A and B
+    time_on_chain_a: dict[str, float] = field(default_factory=dict)
+    time_on_chain_b: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def length_a(self) -> float:
+        return sum(l.duration for l in self.chain_a)
+
+    @property
+    def length_b(self) -> float:
+        return sum(l.duration for l in self.chain_b)
+
+
+@dataclass
+class TraceDiff:
+    """Everything `diff_traces` derives from two runs."""
+
+    report_a: TraceReport
+    report_b: TraceReport
+    types: list[TypeDelta]
+    chain: CriticalChainDiff
+    behavior: list[BehaviorDelta]
+
+    @property
+    def makespan_delta(self) -> float:
+        return self.report_b.makespan - self.report_a.makespan
+
+    def top_regressors(self, n: int = 3) -> list[TypeDelta]:
+        """Task types ranked by total-busy-time growth."""
+
+        return sorted(self.types, key=lambda t: -t.delta_total)[:n]
+
+
+def _chain_diff(
+    events_a: Sequence[TraceEvent], events_b: Sequence[TraceEvent]
+) -> CriticalChainDiff:
+    chain_a = critical_chain(events_a)
+    chain_b = critical_chain(events_b)
+    counts_a = Counter(l.name for l in chain_a)
+    counts_b = Counter(l.name for l in chain_b)
+    entered = {
+        name: counts_b[name] - counts_a.get(name, 0)
+        for name in counts_b
+        if counts_b[name] > counts_a.get(name, 0)
+    }
+    left = {
+        name: counts_a[name] - counts_b.get(name, 0)
+        for name in counts_a
+        if counts_a[name] > counts_b.get(name, 0)
+    }
+    time_a: dict[str, float] = {}
+    for link in chain_a:
+        time_a[link.name] = time_a.get(link.name, 0.0) + link.duration
+    time_b: dict[str, float] = {}
+    for link in chain_b:
+        time_b[link.name] = time_b.get(link.name, 0.0) + link.duration
+    return CriticalChainDiff(
+        chain_a, chain_b, entered, left, time_a, time_b
+    )
+
+
+def diff_traces(
+    events_a: Sequence[TraceEvent],
+    events_b: Sequence[TraceEvent],
+    n_boot: int = 2000,
+    seed: int = 0,
+) -> TraceDiff:
+    """Attribute the makespan delta between two runs' event lists."""
+
+    report_a = analyze_events(list(events_a))
+    report_b = analyze_events(list(events_b))
+    samples_a = collect_task_durations(events_a)
+    samples_b = collect_task_durations(events_b)
+
+    types: list[TypeDelta] = []
+    for name in sorted(set(samples_a) | set(samples_b)):
+        a = samples_a.get(name, [])
+        b = samples_b.get(name, [])
+        ci_low = ci_high = None
+        if a and b and n_boot > 0:
+            ci_low, ci_high = bootstrap_mean_delta(
+                a, b, n_boot=n_boot, seed=seed
+            )
+        types.append(
+            TypeDelta(
+                name=name,
+                count_a=len(a),
+                count_b=len(b),
+                total_a=sum(a),
+                total_b=sum(b),
+                mean_a=sum(a) / len(a) if a else 0.0,
+                mean_b=sum(b) / len(b) if b else 0.0,
+                ci_low=ci_low,
+                ci_high=ci_high,
+            )
+        )
+    types.sort(key=lambda t: -abs(t.delta_total))
+
+    behavior = [
+        BehaviorDelta("utilisation", report_a.utilisation, report_b.utilisation, "%"),
+        BehaviorDelta(
+            "locality hit-rate", report_a.locality_rate, report_b.locality_rate, "%"
+        ),
+        BehaviorDelta("steals", report_a.steals, report_b.steals),
+        BehaviorDelta("renames", report_a.renames, report_b.renames),
+        BehaviorDelta(
+            "barrier time", report_a.barrier_time, report_b.barrier_time, "s"
+        ),
+        BehaviorDelta("tasks", report_a.total_tasks, report_b.total_tasks),
+        BehaviorDelta("threads", len(report_a.threads), len(report_b.threads)),
+    ]
+    return TraceDiff(
+        report_a=report_a,
+        report_b=report_b,
+        types=types,
+        chain=_chain_diff(events_a, events_b),
+        behavior=behavior,
+    )
+
+
+# ---------------------------------------------------------------------------
+# metrics snapshot diff
+# ---------------------------------------------------------------------------
+
+@dataclass
+class MetricDelta:
+    name: str
+    a: Optional[float]
+    b: Optional[float]
+
+    @property
+    def delta(self) -> Optional[float]:
+        if self.a is None or self.b is None:
+            return None
+        return self.b - self.a
+
+
+def _flatten_metrics(snapshot: dict) -> dict[str, float]:
+    """Flatten a ``MetricsRegistry.snapshot()`` into scalar series.
+
+    Histogram dicts contribute their ``count``/``mean``/``max``;
+    labelled series keep their ``name{label}`` spelling.
+    """
+
+    flat: dict[str, float] = {}
+
+    def emit(name: str, value) -> None:
+        if isinstance(value, dict):
+            if "count" in value and "mean" in value:  # histogram snapshot
+                flat[f"{name}.count"] = float(value["count"])
+                flat[f"{name}.mean"] = float(value["mean"])
+                if value.get("max") is not None:
+                    flat[f"{name}.max"] = float(value["max"])
+            else:  # labelled series: {label_repr: value-or-histogram}
+                for label, sub in value.items():
+                    emit(f"{name}{{{label}}}", sub)
+        else:
+            try:
+                flat[name] = float(value)
+            except (TypeError, ValueError):
+                pass
+
+    for key, value in snapshot.items():
+        emit(key, value)
+    return flat
+
+
+def diff_metrics(snapshot_a: dict, snapshot_b: dict) -> list[MetricDelta]:
+    """Per-series deltas of two metrics snapshots, biggest movers first."""
+
+    flat_a = _flatten_metrics(snapshot_a)
+    flat_b = _flatten_metrics(snapshot_b)
+    out = [
+        MetricDelta(name, flat_a.get(name), flat_b.get(name))
+        for name in sorted(set(flat_a) | set(flat_b))
+    ]
+
+    def magnitude(d: MetricDelta) -> float:
+        if d.delta is None:
+            return float("inf")  # appeared/vanished series first
+        base = abs(d.a) if d.a else 1.0
+        return abs(d.delta) / base
+
+    out.sort(key=magnitude, reverse=True)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# figure JSON diff
+# ---------------------------------------------------------------------------
+
+@dataclass
+class FigurePointDelta:
+    series: str
+    x: object
+    a: float
+    b: float
+
+    @property
+    def delta(self) -> float:
+        return self.b - self.a
+
+    @property
+    def pct(self) -> float:
+        return self.delta / abs(self.a) * 100.0 if self.a else float("inf")
+
+
+def diff_figures(doc_a: dict, doc_b: dict) -> list[FigurePointDelta]:
+    """Per-series per-point deltas of two saved figure documents.
+
+    Accepts the dict form of ``FigureResult.to_json`` (or a
+    ``FigureResult`` itself); only series labels and x values present
+    in both figures are compared.
+    """
+
+    def as_doc(doc) -> dict:
+        if hasattr(doc, "to_json"):
+            return json.loads(doc.to_json())
+        return doc
+
+    doc_a, doc_b = as_doc(doc_a), as_doc(doc_b)
+    x_a, x_b = list(doc_a.get("x", [])), list(doc_b.get("x", []))
+    common_x = [x for x in x_a if x in x_b]
+    out: list[FigurePointDelta] = []
+    for label, values_a in doc_a.get("series", {}).items():
+        values_b = doc_b.get("series", {}).get(label)
+        if values_b is None:
+            continue
+        for x in common_x:
+            out.append(
+                FigurePointDelta(
+                    label, x,
+                    float(values_a[x_a.index(x)]),
+                    float(values_b[x_b.index(x)]),
+                )
+            )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# rendering
+# ---------------------------------------------------------------------------
+
+def _fmt_s(seconds: float) -> str:
+    sign = "-" if seconds < 0 else ""
+    seconds = abs(seconds)
+    if seconds >= 1.0:
+        return f"{sign}{seconds:.3f}s"
+    if seconds >= 1e-3:
+        return f"{sign}{seconds * 1e3:.2f}ms"
+    return f"{sign}{seconds * 1e6:.1f}us"
+
+
+def _pct(new: float, old: float) -> str:
+    if not old:
+        return "n/a"
+    return f"{(new - old) / abs(old) * 100.0:+.1f}%"
+
+
+def render_trace_diff(
+    diff: TraceDiff, label_a: str = "A", label_b: str = "B"
+) -> str:
+    """Human-readable attribution report for a :class:`TraceDiff`."""
+
+    ra, rb = diff.report_a, diff.report_b
+    lines = [f"== trace diff: {label_a} -> {label_b} =="]
+    lines.append(
+        f"makespan {_fmt_s(ra.makespan)} -> {_fmt_s(rb.makespan)}  "
+        f"({_fmt_s(diff.makespan_delta)}, {_pct(rb.makespan, ra.makespan)})"
+    )
+    lines.append("")
+    lines.append("per task type (sorted by |delta total busy|):")
+    lines.append(
+        "  type              count A->B      mean A -> mean B        "
+        "delta mean (95% CI)       delta total"
+    )
+    for t in diff.types:
+        if t.ci_low is not None:
+            ci = f"[{_fmt_s(t.ci_low)}, {_fmt_s(t.ci_high)}]"
+            mark = " *" if t.significant else ""
+        else:
+            ci = "(new)" if not t.count_a else "(gone)"
+            mark = " *"
+        lines.append(
+            f"  {t.name:16s} {t.count_a:5d}->{t.count_b:<5d} "
+            f"{_fmt_s(t.mean_a):>10s} -> {_fmt_s(t.mean_b):<10s} "
+            f"{_fmt_s(t.delta_mean):>10s} {ci:24s} "
+            f"{_fmt_s(t.delta_total):>10s}{mark}"
+        )
+    lines.append("  (* = significant: CI excludes 0, or type appeared/vanished)")
+
+    chain = diff.chain
+    lines.append("")
+    lines.append("critical path (trace-reconstructed chain to the makespan):")
+    lines.append(
+        f"  {label_a}: {len(chain.chain_a)} tasks, {_fmt_s(chain.length_a)}"
+        f"   {label_b}: {len(chain.chain_b)} tasks, {_fmt_s(chain.length_b)}"
+        f"   ({_fmt_s(chain.length_b - chain.length_a)})"
+    )
+    if chain.entered:
+        parts = ", ".join(f"{n} x{c}" for n, c in sorted(chain.entered.items()))
+        lines.append(f"  entered the path: {parts}")
+    if chain.left:
+        parts = ", ".join(f"{n} x{c}" for n, c in sorted(chain.left.items()))
+        lines.append(f"  left the path:    {parts}")
+    if not chain.entered and not chain.left:
+        lines.append("  composition unchanged")
+    on_chain = sorted(
+        set(chain.time_on_chain_a) | set(chain.time_on_chain_b)
+    )
+    for name in on_chain:
+        a = chain.time_on_chain_a.get(name, 0.0)
+        b = chain.time_on_chain_b.get(name, 0.0)
+        lines.append(
+            f"  time on path: {name:16s} {_fmt_s(a):>10s} -> {_fmt_s(b):<10s}"
+            f" ({_fmt_s(b - a)})"
+        )
+
+    lines.append("")
+    lines.append("scheduler behaviour:")
+    for b in diff.behavior:
+        if b.unit == "%":
+            lines.append(
+                f"  {b.name:18s} {b.a * 100:6.1f}% -> {b.b * 100:6.1f}%"
+                f"  ({(b.b - b.a) * 100:+.1f} pts)"
+            )
+        elif b.unit == "s":
+            lines.append(
+                f"  {b.name:18s} {_fmt_s(b.a):>9s} -> {_fmt_s(b.b):<9s}"
+                f"  ({_fmt_s(b.delta)})"
+            )
+        else:
+            lines.append(
+                f"  {b.name:18s} {b.a:9.0f} -> {b.b:<9.0f}  ({b.delta:+.0f})"
+            )
+    return "\n".join(lines)
+
+
+def render_metrics_diff(
+    deltas: list[MetricDelta],
+    label_a: str = "A",
+    label_b: str = "B",
+    limit: int = 40,
+) -> str:
+    lines = [f"== metrics diff: {label_a} -> {label_b} =="]
+    shown = 0
+    for d in deltas:
+        if d.a is not None and d.b is not None and d.a == d.b:
+            continue
+        if shown >= limit:
+            lines.append(f"  ... ({len(deltas) - shown} more series)")
+            break
+        a = "absent" if d.a is None else f"{d.a:g}"
+        b = "absent" if d.b is None else f"{d.b:g}"
+        suffix = "" if d.delta is None else f"  ({d.delta:+g})"
+        lines.append(f"  {d.name:44s} {a:>12s} -> {b:<12s}{suffix}")
+        shown += 1
+    if shown == 0:
+        lines.append("  (no series changed)")
+    return "\n".join(lines)
+
+
+def render_figure_diff(
+    deltas: list[FigurePointDelta],
+    label_a: str = "A",
+    label_b: str = "B",
+) -> str:
+    lines = [f"== figure diff: {label_a} -> {label_b} =="]
+    if not deltas:
+        lines.append("  (no comparable series/points)")
+        return "\n".join(lines)
+    for d in deltas:
+        lines.append(
+            f"  {d.series:28s} @ {str(d.x):>6s}: {d.a:10.3f} -> {d.b:<10.3f}"
+            f" ({d.pct:+.1f}%)"
+        )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# side-by-side exports
+# ---------------------------------------------------------------------------
+
+class _EventHolder:
+    """Duck-typed tracer for :func:`repro.obs.export.to_chrome_trace`."""
+
+    def __init__(self, events):
+        self.events = list(events)
+
+
+def diff_chrome_trace(
+    events_a: Sequence[TraceEvent],
+    events_b: Sequence[TraceEvent],
+    label_a: str = "run A",
+    label_b: str = "run B",
+) -> dict:
+    """One Chrome trace document with the two runs as two processes.
+
+    Open at ui.perfetto.dev: process 1 is run A, process 2 is run B,
+    both starting at ``ts == 0`` so the timelines align for visual
+    comparison.
+    """
+
+    from .export import to_chrome_trace
+
+    doc_a = to_chrome_trace(_EventHolder(events_a), pid=1)
+    doc_b = to_chrome_trace(_EventHolder(events_b), pid=2)
+    records = []
+    for doc, pid, label in ((doc_a, 1, label_a), (doc_b, 2, label_b)):
+        for rec in doc["traceEvents"]:
+            if rec.get("ph") == "M" and rec.get("name") == "process_name":
+                rec = dict(rec, args={"name": label})
+            records.append(rec)
+    return {
+        "traceEvents": records,
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "repro.obs.diff", "runs": [label_a, label_b]},
+    }
+
+
+def write_diff_chrome_trace(
+    events_a, events_b, path: str, label_a: str = "run A", label_b: str = "run B"
+) -> str:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(diff_chrome_trace(events_a, events_b, label_a, label_b), handle)
+    return path
+
+
+def diff_to_dot(
+    diff: TraceDiff, label_a: str = "run A", label_b: str = "run B"
+) -> str:
+    """Both critical chains as one DOT graph (clusters A and B).
+
+    Task types that *entered* the path in B are salmon, types that
+    *left* it (present only on A's chain) are lightblue, unchanged
+    types grey — a TEMANEJO-style picture of what the scheduler/graph
+    change did to the path.
+    """
+
+    entered = set(diff.chain.entered)
+    left = set(diff.chain.left)
+
+    def colour(name: str, side: str) -> str:
+        if side == "b" and name in entered:
+            return "salmon"
+        if side == "a" and name in left:
+            return "lightblue"
+        return "lightgrey"
+
+    lines = ["digraph critical_path_diff {", "  node [style=filled];",
+             "  rankdir=LR;"]
+    for side, label, chain in (
+        ("a", label_a, diff.chain.chain_a),
+        ("b", label_b, diff.chain.chain_b),
+    ):
+        lines.append(f"  subgraph cluster_{side} {{")
+        lines.append(f'    label="{label}";')
+        previous = None
+        for link in chain:
+            node = f"{side}{link.task_id}"
+            lines.append(
+                f'    {node} [label="{link.name}\\n{link.task_id} '
+                f'({_fmt_s(link.duration)})", '
+                f"fillcolor={colour(link.name, side)}];"
+            )
+            if previous is not None:
+                lines.append(f"    {previous} -> {node};")
+            previous = node
+        lines.append("  }")
+    lines.append(
+        '  legend [shape=box, label="salmon: entered path\\n'
+        'lightblue: left path\\ngrey: unchanged"];'
+    )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def write_diff_dot(diff: TraceDiff, path: str, **kwargs) -> str:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(diff_to_dot(diff, **kwargs))
+        handle.write("\n")
+    return path

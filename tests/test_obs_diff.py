@@ -1,0 +1,266 @@
+"""Differential observability: trace/metrics/figure diffs and the CLI.
+
+The acceptance scenario: record a trace, inflate one task type 2x, and
+the diff must attribute the slowdown to that type and report how the
+critical path changed.  The synthetic runs here are built so the
+inflation also *flips* the critical chain (from the potrf chain on
+thread 0 to the gemm chain on thread 1), exercising the entered/left
+reporting.
+"""
+
+import json
+
+import pytest
+
+from repro.bench.harness import FigureResult
+from repro.core.tracing import EventKind, TraceEvent
+from repro.obs.diff import (
+    bootstrap_mean_delta,
+    collect_task_durations,
+    critical_chain,
+    diff_figures,
+    diff_metrics,
+    diff_to_dot,
+    diff_traces,
+    render_figure_diff,
+    render_metrics_diff,
+    render_trace_diff,
+    write_diff_chrome_trace,
+)
+
+pytestmark = pytest.mark.obs
+
+
+def _chain_events(events, name, task_ids, thread, start, duration, released_by):
+    """Append a dependency chain of equal-duration tasks on one thread."""
+
+    t = start
+    releaser = released_by
+    for task_id in task_ids:
+        task = type("T", (), {"task_id": task_id, "name": name})()
+        events.append(TraceEvent(t, EventKind.TASK_READY, task_id, name, releaser))
+        events.append(TraceEvent(t, EventKind.TASK_START, task_id, name, thread))
+        t += duration
+        events.append(TraceEvent(t, EventKind.TASK_END, task_id, name, thread))
+        releaser = thread
+        del task
+    return t
+
+
+def make_run(gemm_scale: float = 1.0) -> list[TraceEvent]:
+    """Two parallel chains plus a final task released by the slower one.
+
+    * thread 0: four ``potrf`` tasks, 1.0s each (ends at 4.0);
+    * thread 1: four ``gemm`` tasks, 0.5s * gemm_scale each;
+    * ``trsm`` runs last, released by whichever chain finished later —
+      so inflating gemm 2x moves the critical chain from potrf to gemm.
+    """
+
+    events: list[TraceEvent] = []
+    potrf_end = _chain_events(events, "potrf", [1, 2, 3, 4], 0, 0.0, 1.0, -1)
+    gemm_end = _chain_events(
+        events, "gemm", [11, 12, 13, 14], 1, 0.0, 0.5 * gemm_scale, -1
+    )
+    last_thread = 0 if potrf_end >= gemm_end else 1
+    t = max(potrf_end, gemm_end)
+    events.append(TraceEvent(t, EventKind.TASK_READY, 99, "trsm", last_thread))
+    events.append(TraceEvent(t, EventKind.TASK_START, 99, "trsm", last_thread))
+    events.append(TraceEvent(t + 1.0, EventKind.TASK_END, 99, "trsm", last_thread))
+    events.sort(key=lambda e: e.time)
+    return events
+
+
+class TestBuildingBlocks:
+    def test_collect_task_durations(self):
+        samples = collect_task_durations(make_run())
+        assert sorted(samples) == ["gemm", "potrf", "trsm"]
+        assert samples["potrf"] == pytest.approx([1.0] * 4)
+        assert samples["gemm"] == pytest.approx([0.5] * 4)
+
+    def test_critical_chain_follows_releasers(self):
+        chain = critical_chain(make_run())
+        # trsm was released by thread 0 -> the potrf chain is critical.
+        assert [link.name for link in chain] == ["potrf"] * 4 + ["trsm"]
+        assert chain[-1].end == pytest.approx(5.0)
+
+    def test_critical_chain_flips_when_gemm_inflates(self):
+        chain = critical_chain(make_run(gemm_scale=3.0))
+        assert [link.name for link in chain] == ["gemm"] * 4 + ["trsm"]
+
+    def test_critical_chain_empty(self):
+        assert critical_chain([]) == []
+
+    def test_bootstrap_ci_excludes_zero_for_real_shift(self):
+        lo, hi = bootstrap_mean_delta([0.5] * 4, [1.0] * 4, n_boot=200)
+        assert lo == pytest.approx(0.5)
+        assert hi == pytest.approx(0.5)
+
+    def test_bootstrap_ci_covers_zero_for_noise(self):
+        lo, hi = bootstrap_mean_delta(
+            [1.0, 1.2, 0.8, 1.1, 0.9], [1.05, 0.95, 1.1, 0.9, 1.0],
+            n_boot=500,
+        )
+        assert lo < 0.0 < hi
+
+    def test_bootstrap_rejects_empty(self):
+        with pytest.raises(ValueError):
+            bootstrap_mean_delta([], [1.0])
+
+
+class TestTraceDiff:
+    def test_attributes_synthetic_slowdown_to_inflated_type(self):
+        diff = diff_traces(make_run(), make_run(gemm_scale=2.0), n_boot=300)
+        top = diff.top_regressors(1)[0]
+        assert top.name == "gemm"
+        assert top.delta_total == pytest.approx(2.0)  # 4 tasks x +0.5s
+        assert top.significant
+        assert top.ci_low is not None and top.ci_low > 0
+        # potrf and trsm are unchanged.
+        by_name = {t.name: t for t in diff.types}
+        assert by_name["potrf"].delta_total == pytest.approx(0.0)
+        assert not by_name["potrf"].significant
+        assert diff.makespan_delta == pytest.approx(0.0)  # 4.0 vs 4.0 chains tie at x2
+
+    def test_chain_composition_change_reported(self):
+        diff = diff_traces(make_run(), make_run(gemm_scale=3.0), n_boot=0)
+        assert diff.chain.entered == {"gemm": 4}
+        assert diff.chain.left == {"potrf": 4}
+        assert diff.makespan_delta == pytest.approx(2.0)  # 7.0 - 5.0
+        assert diff.chain.length_b > diff.chain.length_a
+
+    def test_render_mentions_culprit_and_path_change(self):
+        diff = diff_traces(make_run(), make_run(gemm_scale=3.0), n_boot=100)
+        text = render_trace_diff(diff, "base", "slow")
+        assert "base -> slow" in text
+        assert "gemm" in text
+        assert "entered the path: gemm x4" in text
+        assert "left the path:    potrf x4" in text
+        assert "makespan" in text
+
+    def test_behavior_deltas_present(self):
+        diff = diff_traces(make_run(), make_run(), n_boot=0)
+        names = [b.name for b in diff.behavior]
+        assert "utilisation" in names and "steals" in names
+        assert all(b.delta == pytest.approx(0.0) for b in diff.behavior)
+
+
+class TestExports:
+    def test_side_by_side_chrome_trace(self, tmp_path):
+        path = tmp_path / "sbs.json"
+        write_diff_chrome_trace(
+            make_run(), make_run(gemm_scale=2.0), str(path),
+            label_a="before", label_b="after",
+        )
+        doc = json.loads(path.read_text())
+        pids = {r["pid"] for r in doc["traceEvents"]}
+        assert pids == {1, 2}
+        names = {
+            r["args"]["name"]
+            for r in doc["traceEvents"]
+            if r.get("ph") == "M" and r["name"] == "process_name"
+        }
+        assert names == {"before", "after"}
+
+    def test_diff_dot_highlights_entered_and_left(self):
+        diff = diff_traces(make_run(), make_run(gemm_scale=3.0), n_boot=0)
+        dot = diff_to_dot(diff, "A", "B")
+        assert "digraph" in dot
+        assert "salmon" in dot       # gemm entered
+        assert "lightblue" in dot    # potrf left
+        assert "cluster_a" in dot and "cluster_b" in dot
+
+
+class TestMetricsAndFigureDiff:
+    def test_metrics_diff_scalars_and_histograms(self):
+        a = {"steals": 4, "analysis_seconds": {"count": 10, "mean": 0.1, "max": 0.2}}
+        b = {"steals": 9, "analysis_seconds": {"count": 10, "mean": 0.3, "max": 0.6},
+             "renames": 2}
+        deltas = {d.name: d for d in diff_metrics(a, b)}
+        assert deltas["steals"].delta == pytest.approx(5)
+        assert deltas["analysis_seconds.mean"].delta == pytest.approx(0.2)
+        assert deltas["renames"].a is None and deltas["renames"].b == 2
+        text = render_metrics_diff(list(deltas.values()))
+        assert "steals" in text
+
+    def test_figure_diff_per_point(self):
+        fig_a = FigureResult("f", "t", "threads", "Gflops", [1, 2])
+        fig_a.add("SMPSs", [10.0, 20.0])
+        fig_b = FigureResult("f", "t", "threads", "Gflops", [1, 2])
+        fig_b.add("SMPSs", [10.0, 15.0])
+        deltas = diff_figures(fig_a, fig_b)
+        assert len(deltas) == 2
+        worst = max(deltas, key=lambda d: abs(d.delta))
+        assert worst.x == 2 and worst.delta == pytest.approx(-5.0)
+        assert "SMPSs" in render_figure_diff(deltas)
+
+
+class TestDiffCli:
+    def _write_traces(self, tmp_path):
+        from repro.obs.export import write_chrome_trace
+
+        class Holder:
+            def __init__(self, events):
+                self.events = events
+
+        a = tmp_path / "a.trace.json"
+        b = tmp_path / "b.trace.json"
+        write_chrome_trace(Holder(make_run()), str(a))
+        write_chrome_trace(Holder(make_run(gemm_scale=3.0)), str(b))
+        return str(a), str(b)
+
+    def test_trace_diff_cli(self, tmp_path, capsys):
+        from repro.obs.__main__ import main
+
+        a, b = self._write_traces(tmp_path)
+        assert main(["diff", a, b, "--boot", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "gemm" in out
+        assert "entered the path" in out
+
+    def test_trace_diff_cli_exports(self, tmp_path, capsys):
+        from repro.obs.__main__ import main
+
+        a, b = self._write_traces(tmp_path)
+        dot = tmp_path / "diff.dot"
+        chrome = tmp_path / "sbs.json"
+        assert main(["diff", a, b, "--boot", "0",
+                     "--dot", str(dot), "--chrome", str(chrome)]) == 0
+        assert "digraph" in dot.read_text()
+        assert json.loads(chrome.read_text())["otherData"]["runs"]
+
+    def test_metrics_diff_cli(self, tmp_path, capsys):
+        from repro.obs.__main__ import main
+
+        a = tmp_path / "a.metrics.json"
+        b = tmp_path / "b.metrics.json"
+        a.write_text(json.dumps({"figure": "x", "metrics": {"steals": 1}}))
+        b.write_text(json.dumps({"figure": "x", "metrics": {"steals": 5}}))
+        assert main(["diff", str(a), str(b)]) == 0
+        assert "steals" in capsys.readouterr().out
+
+    def test_figure_diff_cli(self, tmp_path, capsys):
+        from repro.obs.__main__ import main
+
+        fig = FigureResult("figX", "t", "threads", "Gflops", [1, 2])
+        fig.add("SMPSs", [1.0, 2.0])
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        a.write_text(fig.to_json())
+        fig.series[0].values = [1.0, 1.5]
+        b.write_text(fig.to_json())
+        assert main(["diff", str(a), str(b)]) == 0
+        assert "figure diff" in capsys.readouterr().out
+
+    def test_mismatched_kinds_rejected(self, tmp_path, capsys):
+        from repro.obs.__main__ import main
+
+        a, _ = self._write_traces(tmp_path)
+        fig = tmp_path / "fig.json"
+        fig.write_text(json.dumps({"figure_id": "f", "series": {}, "x": []}))
+        assert main(["diff", a, str(fig)]) == 1
+
+    def test_missing_file(self, tmp_path):
+        from repro.obs.__main__ import main
+
+        assert main(["diff", str(tmp_path / "nope.json"),
+                     str(tmp_path / "nope2.json")]) == 1
