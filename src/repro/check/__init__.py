@@ -1,0 +1,33 @@
+"""repro.check — annotation-correctness tooling for the SMPSs model.
+
+Two layers (see ``docs/static_analysis.md``):
+
+* **static** — an AST linter cross-checking each task's directionality
+  clauses against its body (:func:`lint_source`, :func:`lint_file`,
+  :func:`lint_paths`; ``python -m repro.check lint``);
+* **dynamic** — a runtime sanitizer (``SmpssRuntime(sanitize=True)``)
+  wrapping numpy arguments in access-guarded views so undeclared writes
+  fail fast with the task and parameter named, and unwritten outputs
+  are reported at task completion.
+"""
+
+from .astlint import lint_file, lint_paths, lint_source
+from .findings import ERROR, RULES, WARNING, Finding
+from .report import filter_findings, render_json, render_text
+from .sanitize import AccessViolation, Sanitizer, SanitizerFinding
+
+__all__ = [
+    "AccessViolation",
+    "ERROR",
+    "Finding",
+    "RULES",
+    "Sanitizer",
+    "SanitizerFinding",
+    "WARNING",
+    "filter_findings",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "render_json",
+    "render_text",
+]

@@ -1,0 +1,93 @@
+"""Annotation-correctness linter, from the command line.
+
+Usage::
+
+    python -m repro.check lint src/repro/apps examples
+    python -m repro.check lint prog.py --format json
+    python -m repro.check lint prog.py --select input-write,bad-pragma
+    python -m repro.check lint prog.py --ignore unwritten-output
+    python -m repro.check lint prog.py --constants N,M
+    python -m repro.check rules
+
+``lint`` exits 0 when clean, 1 when any finding survives filtering, and
+2 on usage errors (unreadable path, unknown rule name).  Directories
+are searched recursively for ``*.py``.  ``--constants`` declares extra
+names (the paper's compile-time constants) legal in dimension/region
+bound expressions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .astlint import lint_paths
+from .findings import RULES
+from .report import filter_findings, render_json, render_text
+
+
+def _split_rules(raw: str, parser: argparse.ArgumentParser) -> list[str]:
+    rules = [r.strip() for r in raw.split(",") if r.strip()]
+    unknown = [r for r in rules if r not in RULES]
+    if unknown:
+        parser.error(
+            f"unknown rule(s): {', '.join(unknown)} "
+            f"(see 'python -m repro.check rules')"
+        )
+    return rules
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.check",
+        description="Directionality-annotation correctness tools.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    lint = sub.add_parser("lint", help="lint task annotations in files/dirs")
+    lint.add_argument("paths", nargs="+", help="files or directories")
+    lint.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)",
+    )
+    lint.add_argument(
+        "--select", default="", metavar="RULES",
+        help="comma-separated rule codes to report (default: all)",
+    )
+    lint.add_argument(
+        "--ignore", default="", metavar="RULES",
+        help="comma-separated rule codes to drop",
+    )
+    lint.add_argument(
+        "--constants", default="", metavar="NAMES",
+        help="comma-separated names usable in bound expressions",
+    )
+
+    sub.add_parser("rules", help="print the rule catalogue")
+
+    args = parser.parse_args(argv)
+
+    if args.command == "rules":
+        width = max(len(r) for r in RULES)
+        for rule, (severity, description) in RULES.items():
+            print(f"{rule:<{width}}  {severity:<7}  {description}")
+        return 0
+
+    select = _split_rules(args.select, parser) if args.select else []
+    ignore = _split_rules(args.ignore, parser) if args.ignore else []
+    constants = [c.strip() for c in args.constants.split(",") if c.strip()]
+    try:
+        findings = lint_paths(args.paths, constants=constants)
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    findings = filter_findings(findings, select=select, ignore=ignore)
+    if args.format == "json":
+        print(render_json(findings))
+    else:
+        print(render_text(findings))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,59 @@
+"""Reporters for linter findings: human text and machine JSON."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Iterable, Sequence
+
+from .findings import ERROR, Finding
+
+__all__ = ["render_text", "render_json", "filter_findings", "summary_line"]
+
+
+def filter_findings(
+    findings: Iterable[Finding],
+    select: Sequence[str] = (),
+    ignore: Sequence[str] = (),
+) -> list[Finding]:
+    """Keep findings matching *select* (all when empty) minus *ignore*."""
+
+    out = []
+    for f in findings:
+        if select and f.rule not in select:
+            continue
+        if f.rule in ignore:
+            continue
+        out.append(f)
+    return out
+
+
+def summary_line(findings: Sequence[Finding]) -> str:
+    if not findings:
+        return "clean: no findings"
+    by_sev = Counter(f.severity for f in findings)
+    errors = by_sev.get(ERROR, 0)
+    warnings = len(findings) - errors
+    by_rule = Counter(f.rule for f in findings)
+    rules = ", ".join(f"{rule}={n}" for rule, n in sorted(by_rule.items()))
+    return (
+        f"{len(findings)} finding(s): {errors} error(s), "
+        f"{warnings} warning(s) ({rules})"
+    )
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    lines = [f.render() for f in findings]
+    lines.append(summary_line(findings))
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    doc = {
+        "findings": [f.to_dict() for f in findings],
+        "counts": {
+            "total": len(findings),
+            "errors": sum(1 for f in findings if f.severity == ERROR),
+        },
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)

@@ -26,6 +26,7 @@ module, or ``python -m repro.compiler in.py -o out.py`` from a shell.
 from .translate import (
     CompileError,
     compile_annotated,
+    iter_task_pragmas,
     load_annotated_module,
     translate_source,
 )
@@ -33,6 +34,7 @@ from .translate import (
 __all__ = [
     "CompileError",
     "compile_annotated",
+    "iter_task_pragmas",
     "load_annotated_module",
     "translate_source",
 ]

@@ -34,6 +34,7 @@ __all__ = [
     "translate_source",
     "compile_annotated",
     "load_annotated_module",
+    "iter_task_pragmas",
 ]
 
 #: Injected prelude — deliberately a SINGLE line so user code shifts by
@@ -107,8 +108,8 @@ def _collect_pragma(lines: list[str], idx: int, filename: str) -> Optional[_Prag
     )
 
 
-def _find_def(lines: list[str], start: int, indent: str, filename: str, pragma_line: int) -> None:
-    """Validate that a task pragma is followed by a matching ``def``."""
+def _def_line(lines: list[str], start: int, indent: str) -> Optional[int]:
+    """1-based line of the ``def`` governed by a task pragma, or ``None``."""
 
     i = start
     while i < len(lines):
@@ -121,14 +122,48 @@ def _find_def(lines: list[str], start: int, indent: str, filename: str, pragma_l
             continue
         match = _DEF_RE.match(line)
         if match and match.group("indent") == indent:
-            return
+            return i + 1
         break
-    raise CompileError(
-        "'#pragma css task' must be followed by a function definition "
-        "at the same indentation",
-        pragma_line,
-        filename,
-    )
+    return None
+
+
+def _find_def(lines: list[str], start: int, indent: str, filename: str, pragma_line: int) -> None:
+    """Validate that a task pragma is followed by a matching ``def``."""
+
+    if _def_line(lines, start, indent) is None:
+        raise CompileError(
+            "'#pragma css task' must be followed by a function definition "
+            "at the same indentation",
+            pragma_line,
+            filename,
+        )
+
+
+def iter_task_pragmas(source: str, filename: str = "<annotated>"):
+    """Yield ``(payload, pragma_line, def_line)`` per ``#pragma css task``.
+
+    The clause *payload* is returned raw (not validated); *def_line* is
+    ``None`` when no function definition follows at the pragma's
+    indentation.  Used by the :mod:`repro.check` linter to associate
+    pragma-comment annotations with the functions they govern without
+    translating the source.  Raises :class:`CompileError` only for a
+    dangling continuation at end of file.
+    """
+
+    lines = source.split("\n")
+    i = 0
+    while i < len(lines):
+        pragma = _collect_pragma(lines, i, filename)
+        if pragma is None:
+            i += 1
+            continue
+        if pragma.kind == "task":
+            yield (
+                pragma.payload,
+                pragma.first_line,
+                _def_line(lines, pragma.last_line, pragma.indent),
+            )
+        i = pragma.last_line
 
 
 def translate_source(source: str, filename: str = "<annotated>") -> str:

@@ -165,13 +165,16 @@ def instantiate(
     )
 
 
-def resolve_call_values(task: TaskInstance) -> list:
+def resolve_call_values(task: TaskInstance, sanitizer=None) -> list:
     """Concrete argument values for executing *task*.
 
     Whole-object tracked parameters resolve to their version's storage
     (which is where renaming redirects reads and writes); everything
     else (scalars, opaque values, region-mode objects whose storage is
-    always the user's buffer) resolves to the captured value.
+    always the user's buffer) resolves to the captured value.  When a
+    *sanitizer* is active, the resolved values pass through its
+    :meth:`~repro.check.sanitize.Sanitizer.wrap` (read-only guards on
+    non-written parameters, write tracking on the rest).
     """
 
     resolved = dict(task.arguments)
@@ -183,4 +186,7 @@ def resolve_call_values(task: TaskInstance) -> list:
         if version.datum.region_mode:
             continue
         resolved[name] = version.resolve_storage()
-    return [resolved[name] for name in task.definition.param_names]
+    values = [resolved[name] for name in task.definition.param_names]
+    if sanitizer is not None:
+        values = sanitizer.wrap(task, values)
+    return values

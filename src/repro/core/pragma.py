@@ -507,17 +507,28 @@ class _PragmaParser:
                     f"directionality clause in {self.text!r}"
                 )
         # A parameter appearing several times must use regions for every
-        # appearance — otherwise the appearances are ambiguous duplicates.
-        counts: dict[str, int] = {}
+        # appearance (section V.A) — otherwise the appearances are
+        # ambiguous duplicates.  The error names the parameter and the
+        # clauses so the conflicting declarations are easy to find.
+        appearances: dict[str, list] = {}
         for spec in pragma.params:
-            counts[spec.name] = counts.get(spec.name, 0) + 1
-        for spec in pragma.params:
-            if counts[spec.name] > 1 and not spec.has_region:
-                raise PragmaError(
-                    f"parameter {spec.name!r} appears several times in the "
-                    f"directionality clauses of {self.text!r}; every "
-                    f"appearance must carry an array region specifier"
-                )
+            appearances.setdefault(spec.name, []).append(spec)
+        for name, specs in appearances.items():
+            if len(specs) == 1 or all(s.has_region for s in specs):
+                continue
+            clauses = [s.direction.value for s in specs]
+            if len(set(clauses)) == 1:
+                times = "twice" if len(specs) == 2 else f"{len(specs)} times"
+                where = f"{times} in the {clauses[0]!r} clause"
+            else:
+                listed = " and ".join(repr(c) for c in dict.fromkeys(clauses))
+                where = f"in both the {listed} clauses"
+            raise PragmaError(
+                f"parameter {name!r} is listed {where} of {self.text!r}; "
+                f"a parameter may appear in several directionality clauses "
+                f"only when every appearance carries an array region "
+                f"specifier"
+            )
         for spec in pragma.params:
             if spec.regions and spec.dims and len(spec.regions) != len(spec.dims):
                 raise PragmaError(

@@ -144,6 +144,12 @@ class TaskDefinition:
         self.needs_expressions: bool = any(
             getattr(p, "dims", ()) or getattr(p, "regions", ()) for p in self.params
         )
+        #: parameter name -> set of declared directions.  A parameter
+        #: may appear in several clauses with different regions, so this
+        #: is a set union (used by the repro.check sanitizer).
+        self.directions_by_name: dict[str, set[Direction]] = {}
+        for p in self.params:
+            self.directions_by_name.setdefault(p.name, set()).add(p.direction)
 
     @property
     def signature(self) -> inspect.Signature:
@@ -208,6 +214,8 @@ class TaskInstance:
     #: versions this instance reads / writes (set by the dependency engine)
     reads: list = field(default_factory=list)
     writes: list = field(default_factory=list)
+    #: snapshots taken by the access sanitizer (None when sanitize=False)
+    sanitizer_state: Any = None
 
     @property
     def name(self) -> str:

@@ -40,6 +40,8 @@ class EventKind:
     BARRIER_ENTER = "barrier_enter"
     BARRIER_EXIT = "barrier_exit"
     WRITE_BACK = "write_back"
+    #: sanitizer diagnostic (repro.check): rule + parameter in extra
+    VIOLATION = "violation"
 
 
 @dataclass(frozen=True)
@@ -112,6 +114,9 @@ class Tracer:
 
     def write_back(self, count: int) -> None:
         self._emit(EventKind.WRITE_BACK, extra=(count,))
+
+    def violation(self, task, thread: int, rule: str, param: str) -> None:
+        self._emit(EventKind.VIOLATION, task, thread, extra=(rule, param))
 
     # -- post-mortem queries ----------------------------------------------
     def of_kind(self, kind: str) -> list[TraceEvent]:
@@ -196,6 +201,7 @@ class Tracer:
             EventKind.BARRIER_ENTER: 90000005,
             EventKind.BARRIER_EXIT: 90000006,
             EventKind.WRITE_BACK: 90000007,
+            EventKind.VIOLATION: 90000008,
         }
         for event in self.events:
             code = type_codes.get(event.kind)

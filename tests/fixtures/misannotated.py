@@ -1,0 +1,99 @@
+"""Deliberately misannotated tasks — one per linter rule.
+
+This file is a *linting fixture*: ``tests/test_check_lint.py`` runs
+``repro.check`` over it and asserts that every seeded violation is
+reported (and nothing else).  It is never imported or executed.
+
+Each task below is misannotated in exactly one way; the comment above
+each names the rule it seeds.  ``ok_task`` and ``suppressed_write`` at
+the bottom must produce no findings.
+"""
+
+import numpy as np
+
+from repro.core.api import css_task
+
+COUNTER = np.zeros(1)
+
+
+# input-write: the body scales `a` in place, but `a` is declared input.
+@css_task("input(a) output(b)")
+def scale_wrong(a, b):
+    a *= 2.0
+    b[:] = a
+
+
+# input-write (comment-pragma style): same bug via an item assignment.
+# pragma css task input(v)
+def clamp_wrong(v):
+    v[0] = 0.0
+
+
+# undeclared-mutation: `scratch` appears in no clause, so the runtime
+# passes it by value and ignores it in the dependency analysis.
+@css_task("input(a)")
+def sneaky_scratch(a, scratch):
+    scratch[0] = a[0]
+
+
+# unwritten-output: `b` is declared output but the body only reads `a`.
+@css_task("input(a) output(b)")
+def forgot_output(a, b):
+    total = a.sum()
+    return total
+
+
+# read-before-write: `c` is output-only, so its storage may be a fresh
+# renamed buffer with undefined contents; reading it first is a bug.
+@css_task("input(a) output(c)")
+def accumulate_wrong(a, c):
+    tmp = c[0]
+    c[0] = tmp + a[0]
+
+
+# global-mutation: the write to COUNTER is invisible to the dependency
+# analysis and races across worker threads.
+@css_task("input(a)")
+def count_calls(a):
+    COUNTER[0] += a[0]
+
+
+# unknown-region-name: `K` is neither a parameter nor a declared
+# compile-time constant.
+@css_task("input(n) output(v{0..K})")
+def bad_bound(n, v):
+    v[:] = float(n)
+
+
+# helper for the opaque-leak case below (itself correctly annotated)
+@css_task("input(src) output(dst)")
+def copy_vec(src, dst):
+    dst[:] = src
+
+
+# opaque-leak: `handle` bypasses the dependency analysis, yet it is fed
+# into copy_vec's dependency-carrying `src` parameter (the inner call
+# runs inline, so only the outer clauses protect it).
+@css_task("opaque(handle) output(dst)")
+def leak_opaque(handle, dst):
+    copy_vec(handle, dst)
+
+
+# bad-pragma: the clause declares `q`, which is not a parameter.
+@css_task("input(a) output(q)")
+def phantom_param(a, b):
+    b[:] = a
+
+
+# --- clean controls (must produce no findings) ----------------------------
+
+
+@css_task("input(a) inout(c)")
+def ok_task(a, c):
+    c += a
+
+
+# The violation on the next task is acknowledged with a suppression.
+@css_task("input(a)")
+def suppressed_write(a):
+    a[0] = 1.0  # css: ignore[input-write]

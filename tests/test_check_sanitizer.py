@@ -1,0 +1,263 @@
+"""Tests for the repro.check dynamic layer (the runtime access sanitizer)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.linalg as sla
+
+from repro import SmpssRuntime, css_task
+from repro.apps.cholesky import cholesky_hyper
+from repro.blas.hypermatrix import HyperMatrix
+from repro.check import AccessViolation
+from repro.check.sanitize import guard_readonly
+from repro.core.runtime import TaskExecutionError
+from repro.core.tracing import EventKind
+
+pytestmark = pytest.mark.check
+
+
+def _sabotaged_cholesky_tasks():
+    """Blocked-Cholesky-style tasks where trsm *also* scribbles on the
+    diagonal block it is only supposed to read — the classic
+    misannotation the sanitizer exists to catch."""
+
+    @css_task("input(a, b) inout(c)")
+    def gemm(a, b, c):
+        c -= a @ b.T
+
+    @css_task("inout(a)")
+    def potrf(a):
+        a[...] = sla.cholesky(a, lower=True, check_finite=False)
+
+    @css_task("input(diag) inout(below)")
+    def trsm_sabotaged(diag, below):
+        below[...] = sla.solve_triangular(
+            diag, below.T, lower=True, check_finite=False
+        ).T
+        diag[0, 0] = -1.0  # the undeclared write
+
+    return gemm, potrf, trsm_sabotaged
+
+
+def _run_blocked_cholesky(trsm, gemm, potrf, hm, **runtime_kwargs):
+    with SmpssRuntime(num_workers=3, **runtime_kwargs) as rt:
+        n = hm.n
+        for j in range(n):
+            for k in range(j):
+                for i in range(j + 1, n):
+                    gemm(hm[i][k], hm[j][k], hm[i][j])
+                gemm(hm[j][k], hm[j][k], hm[j][j])
+            potrf(hm[j][j])
+            for i in range(j + 1, n):
+                trsm(hm[j][j], hm[i][j])
+        rt.barrier()
+        return rt
+
+
+class TestViolationDetection:
+    def test_threaded_cholesky_undeclared_write_is_caught(self):
+        gemm, potrf, trsm = _sabotaged_cholesky_tasks()
+        hm = HyperMatrix.random_spd(3, 8, seed=7)
+        with pytest.raises(TaskExecutionError) as exc:
+            _run_blocked_cholesky(trsm, gemm, potrf, hm, sanitize=True)
+        cause = exc.value.__cause__
+        assert isinstance(cause, AccessViolation)
+        # The report names the task and the parameter.
+        assert cause.task == "trsm_sabotaged"
+        assert cause.param == "diag"
+        assert cause.rule == "input-write"
+        assert "trsm_sabotaged" in str(exc.value)
+        assert "'diag'" in str(cause)
+
+    def test_same_program_passes_without_sanitize(self):
+        # sanitize=False (the default): no behavioral change, the
+        # undeclared write silently lands, nothing raises.  Two blocks,
+        # so nothing downstream consumes the scribbled diagonal.
+        gemm, potrf, trsm = _sabotaged_cholesky_tasks()
+        hm = HyperMatrix.random_spd(2, 8, seed=7)
+        rt = _run_blocked_cholesky(trsm, gemm, potrf, hm)
+        assert rt.sanitizer is None
+        assert hm[0][0][0, 0] == -1.0  # the scribble went through
+
+    def test_violation_recorded_in_findings(self):
+        gemm, potrf, trsm = _sabotaged_cholesky_tasks()
+        hm = HyperMatrix.random_spd(2, 8, seed=1)
+        rt = SmpssRuntime(num_workers=2, sanitize=True)
+        with pytest.raises(TaskExecutionError):
+            with rt:
+                potrf(hm[0][0])
+                trsm(hm[0][0], hm[1][0])
+                rt.barrier()
+        assert rt.sanitizer.violations >= 1
+        finding = rt.sanitizer.findings[0]
+        assert finding.rule == "input-write"
+        assert finding.task == "trsm_sabotaged"
+        assert finding.param == "diag"
+        assert "trsm_sabotaged" in rt.sanitizer.report()
+
+    def test_undeclared_parameter_write_is_caught(self):
+        @css_task("inout(c)")
+        def leaky(c, scratch):
+            c += 1.0
+            scratch[0] = 9.0  # scratch appears in no clause
+
+        c = np.zeros(4)
+        scratch = np.zeros(4)
+        with pytest.raises(TaskExecutionError) as exc:
+            with SmpssRuntime(num_workers=1, sanitize=True):
+                leaky(c, scratch)
+        cause = exc.value.__cause__
+        assert isinstance(cause, AccessViolation)
+        assert cause.param == "scratch"
+        assert cause.rule == "undeclared-mutation"
+
+    def test_blas_out_write_is_translated(self):
+        # np.add(..., out=a) bypasses the subclass methods; the
+        # read-only flag stops it and the runtime translates the
+        # anonymous ValueError into a named AccessViolation.
+        @css_task("input(a) output(b)")
+        def bad_out(a, b):
+            np.add(a, 1.0, out=a)
+            b[:] = a
+
+        a, b = np.ones(4), np.zeros(4)
+        with pytest.raises(TaskExecutionError) as exc:
+            with SmpssRuntime(num_workers=1, sanitize=True):
+                bad_out(a, b)
+        cause = exc.value.__cause__
+        assert isinstance(cause, AccessViolation)
+        assert cause.param == "a"
+        assert isinstance(cause.__cause__, ValueError)
+
+    def test_augmented_assignment_on_input_is_caught(self):
+        @css_task("input(a) output(b)")
+        def bad_aug(a, b):
+            a += 1.0
+            b[:] = a
+
+        with pytest.raises(TaskExecutionError) as exc:
+            with SmpssRuntime(num_workers=1, sanitize=True):
+                bad_aug(np.ones(3), np.zeros(3))
+        assert isinstance(exc.value.__cause__, AccessViolation)
+        assert "+=" in str(exc.value.__cause__)
+
+
+class TestUnwrittenOutput:
+    def test_unwritten_output_reported_not_raised(self):
+        @css_task("input(a) output(b)")
+        def forgot(a, b):
+            return float(a.sum())
+
+        a, b = np.ones(4), np.zeros(4)
+        rt = SmpssRuntime(num_workers=1, sanitize=True)
+        with rt:
+            forgot(a, b)
+        findings = rt.sanitizer.findings
+        assert [f.rule for f in findings] == ["unwritten-output"]
+        assert findings[0].param == "b"
+        assert findings[0].task == "forgot"
+
+    def test_written_output_is_clean(self):
+        @css_task("input(a) output(b)")
+        def ok(a, b):
+            b[:] = a * 2
+
+        rt = SmpssRuntime(num_workers=1, sanitize=True)
+        with rt:
+            ok(np.ones(4), np.zeros(4))
+        assert rt.sanitizer.findings == []
+
+
+class TestNoBehaviorChange:
+    def test_real_cholesky_correct_under_sanitize(self):
+        hm = HyperMatrix.random_spd(4, 8, seed=11)
+        dense = hm.to_dense()
+        rt = SmpssRuntime(num_workers=3, sanitize=True)
+        with rt:
+            cholesky_hyper(hm)
+        expected = sla.cholesky(dense, lower=True)
+        assert np.allclose(np.tril(hm.to_dense()), np.tril(expected), atol=1e-5)
+        assert rt.sanitizer.violations == 0
+
+    def test_guards_do_not_leak_into_user_arrays(self):
+        seen = {}
+
+        @css_task("input(a) output(b)")
+        def peek(a, b):
+            seen["writeable"] = a.flags.writeable
+            b[:] = a
+
+        a, b = np.ones(4), np.zeros(4)
+        with SmpssRuntime(num_workers=1, sanitize=True):
+            peek(a, b)
+        assert seen["writeable"] is False  # guarded inside the task
+        assert a.flags.writeable  # the user's array is untouched
+
+    def test_scalars_and_opaque_pass_through(self):
+        seen = {}
+
+        @css_task("opaque(m) input(r) inout(acc)")
+        def touch(m, r, acc):
+            m[r] = 42.0  # opaque: writable by design
+            seen["type"] = type(m)
+            acc += m[r]
+
+        m = np.zeros(3)
+        acc = np.zeros(1)
+        rt = SmpssRuntime(num_workers=1, sanitize=True)
+        with rt:
+            touch(m, 1, acc)
+        assert seen["type"] is np.ndarray  # not a guarded subclass
+        assert m[1] == 42.0
+        assert rt.sanitizer.findings == []
+
+
+class TestTraceIntegration:
+    def test_violation_event_lands_in_trace(self):
+        @css_task("input(a)")
+        def bad(a):
+            a[0] = 1.0
+
+        rt = SmpssRuntime(num_workers=1, sanitize=True, trace=True)
+        with pytest.raises(TaskExecutionError):
+            with rt:
+                bad(np.zeros(2))
+        events = [e for e in rt.tracer.events if e.kind == EventKind.VIOLATION]
+        assert len(events) == 1
+        assert events[0].task_name == "bad"
+        assert events[0].extra == ("input-write", "a")
+
+    def test_violation_in_paraver_export(self):
+        @css_task("input(a)")
+        def bad(a):
+            a[0] = 1.0
+
+        rt = SmpssRuntime(num_workers=1, sanitize=True, trace=True)
+        with pytest.raises(TaskExecutionError):
+            with rt:
+                bad(np.zeros(2))
+        assert ":90000008:" in rt.tracer.to_paraver()
+
+
+class TestGuardMechanics:
+    def test_guard_is_view_not_copy(self):
+        base = np.arange(6.0)
+        g = guard_readonly(base, "t", "p")
+        assert g.base is base
+        assert not g.flags.writeable
+        with pytest.raises(AccessViolation, match="'p'"):
+            g[0] = 1.0
+        with pytest.raises(AccessViolation):
+            g.sort()
+
+    def test_ufunc_result_is_ordinary_and_writable(self):
+        g = guard_readonly(np.arange(4.0), "t", "p")
+        result = g + 1
+        result[0] = 99.0  # fresh buffer: no violation
+        assert result[0] == 99.0
+
+    def test_slice_of_guard_stays_guarded(self):
+        g = guard_readonly(np.arange(8.0), "t", "p")
+        with pytest.raises(AccessViolation):
+            g[2:5][0] = 1.0

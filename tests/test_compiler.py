@@ -252,3 +252,118 @@ class TestExecution:
         path.write_text("#pragma css task nope(a)\ndef f(a):\n    pass\n")
         assert main([str(path)]) == 1
         assert "error:" in capsys.readouterr().err
+
+
+class TestCliErrorPaths:
+    """``python -m repro.compiler`` must fail like a compiler: exit
+    code 1, message on stderr, and a faithful file:line location."""
+
+    def _main(self):
+        from repro.compiler.__main__ import main
+
+        return main
+
+    def test_malformed_pragma_exit_code_and_line(self, tmp_path, capsys):
+        path = tmp_path / "bad.py"
+        path.write_text(
+            "x = 1\n"
+            "y = 2\n"
+            "#pragma css task banana(a)\n"
+            "def f(a):\n"
+            "    pass\n"
+        )
+        assert self._main()([str(path)]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert f"{path}:3:" in err  # the pragma's own line
+
+    def test_continuation_error_reports_first_pragma_line(self, tmp_path, capsys):
+        # A clause error inside a continued pragma must point at the
+        # line the pragma *starts* on, not the continuation line.
+        path = tmp_path / "cont.py"
+        path.write_text(
+            "#pragma css task input(a) \\\n"
+            "# banana(b)\n"
+            "def f(a, b):\n"
+            "    pass\n"
+        )
+        assert self._main()([str(path)]) == 1
+        err = capsys.readouterr().err
+        assert f"{path}:1:" in err
+        assert "banana" in err
+
+    def test_dangling_continuation_exit_code(self, tmp_path, capsys):
+        path = tmp_path / "dangle.py"
+        path.write_text("#pragma css task input(a) \\\n")
+        assert self._main()([str(path)]) == 1
+        assert "continuation" in capsys.readouterr().err
+
+    def test_task_without_def_location(self, tmp_path, capsys):
+        path = tmp_path / "nodef.py"
+        path.write_text("x = 0\n#pragma css task input(a)\nx = 1\n")
+        assert self._main()([str(path)]) == 1
+        err = capsys.readouterr().err
+        assert f"{path}:2:" in err
+        assert "function definition" in err
+
+    def test_run_mode_reports_compile_errors(self, tmp_path, capsys):
+        path = tmp_path / "bad_run.py"
+        path.write_text("#pragma css barrier now\n")
+        assert self._main()([str(path), "--run"]) == 1
+        assert "no arguments" in capsys.readouterr().err
+
+    def test_error_line_survives_blank_and_comment_lines(self, tmp_path, capsys):
+        # Decorator lines and comments between pragma and def are legal;
+        # the reported line must still be the pragma's.
+        path = tmp_path / "deco.py"
+        path.write_text(
+            "\n"
+            "# a comment\n"
+            "\n"
+            "#pragma css task input(a{1..)\n"
+            "def f(a):\n"
+            "    pass\n"
+        )
+        assert self._main()([str(path)]) == 1
+        assert f"{path}:4:" in capsys.readouterr().err
+
+
+class TestIterTaskPragmas:
+    def test_payloads_and_lines(self):
+        from repro.compiler import iter_task_pragmas
+
+        source = (
+            "x = 1\n"
+            "#pragma css task input(a)\n"
+            "def f(a):\n"
+            "    pass\n"
+            "#pragma css barrier\n"
+            "#pragma css task inout(b)\n"
+            "@decorated\n"
+            "def g(b):\n"
+            "    pass\n"
+        )
+        found = list(iter_task_pragmas(source))
+        assert found == [
+            ("input(a)", 2, 3),
+            ("inout(b)", 6, 8),
+        ]
+
+    def test_continuation_payload_merged(self):
+        from repro.compiler import iter_task_pragmas
+
+        source = (
+            "#pragma css task input(a) \\\n"
+            "# inout(b)\n"
+            "def f(a, b):\n"
+            "    pass\n"
+        )
+        ((payload, pragma_line, def_line),) = iter_task_pragmas(source)
+        assert payload == "input(a) inout(b)"
+        assert (pragma_line, def_line) == (1, 3)
+
+    def test_missing_def_yields_none(self):
+        from repro.compiler import iter_task_pragmas
+
+        ((_, _, def_line),) = iter_task_pragmas("#pragma css task input(a)\n")
+        assert def_line is None

@@ -133,11 +133,36 @@ class TestValidation:
             parse_pragma("input(a")
 
     def test_duplicate_without_regions(self):
-        with pytest.raises(PragmaError, match="several times"):
+        # The error must name the parameter and both clauses.
+        with pytest.raises(
+            PragmaError, match=r"'a' is listed in both the 'input' and 'output'"
+        ):
             parse_pragma("input(a) output(a)")
+
+    def test_duplicate_same_clause(self):
+        with pytest.raises(
+            PragmaError, match=r"'x' is listed twice in the 'input' clause"
+        ):
+            parse_pragma("input(x, y, x)")
+
+    def test_duplicate_same_clause_repeated(self):
+        with pytest.raises(
+            PragmaError, match=r"'x' is listed 3 times in the 'inout' clause"
+        ):
+            parse_pragma("inout(x, x, x)")
+
+    def test_duplicate_mixed_regions_still_rejected(self):
+        # One appearance carrying a region does not legitimise the other.
+        with pytest.raises(PragmaError, match=r"'a' is listed"):
+            parse_pragma("input(a{0..1}) output(a)")
 
     def test_duplicate_with_regions_ok(self):
         p = parse_pragma("input(a{0..1}) output(a{2..3})")
+        assert len(p.specs_for("a")) == 2
+
+    def test_duplicate_same_clause_with_regions_ok(self):
+        # Section V.A: several appearances are fine when each has a region.
+        p = parse_pragma("input(a{0..1}) input(a{4..5})")
         assert len(p.specs_for("a")) == 2
 
     def test_opaque_conflicts_with_direction(self):
