@@ -45,6 +45,7 @@ from .core import (
     current_runtime,
     parse_pragma,
     record_program,
+    wait_on,
 )
 
 __version__ = "1.0.0"
@@ -72,5 +73,26 @@ __all__ = [
     "current_runtime",
     "parse_pragma",
     "record_program",
+    "wait_on",
     "__version__",
 ]
+
+
+def __getattr__(name: str):
+    """Keep the top-level namespace deliberate.
+
+    ``repro`` re-exports a curated surface (``__all__``); anything else
+    must be imported from its home submodule.  Guessed names fail fast
+    with a pointer instead of silently resolving to a submodule that an
+    earlier import happened to load.
+    """
+
+    import difflib
+
+    hints = difflib.get_close_matches(name, __all__, n=1)
+    hint = f" (did you mean {hints[0]!r}?)" if hints else ""
+    raise AttributeError(
+        f"module 'repro' has no attribute {name!r}{hint}; the public "
+        f"surface is repro.__all__ — submodule internals live under "
+        f"repro.core / repro.sim / repro.obs / repro.bench / repro.check"
+    )

@@ -9,10 +9,13 @@ via ``n=8192``.  See EXPERIMENTS.md for paper-vs-measured notes.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from ..apps import cholesky, matmul, multisort, nqueens, strassen
 from ..blas.hypermatrix import HyperMatrix
+from ..core import SmpssRuntime, barrier, css_task
 from ..core.recorder import record_program
 from ..sim import (
     ALTIX_32,
@@ -41,6 +44,7 @@ __all__ = [
     "fig14_multisort",
     "fig15_nqueens",
     "fig16_nqueens_scalability",
+    "micro_submission_throughput",
     "text_task_counts",
     "THREAD_SWEEP",
 ]
@@ -439,3 +443,112 @@ def text_task_counts() -> dict:
     out["recorded_flat_N8"] = prog.task_count
     out["formula_flat_N8"] = cholesky.flat_task_count(8)["total"]
     return out
+
+
+# ---------------------------------------------------------------------------
+# Microbenchmark: submission throughput of the fast-path engine
+# ---------------------------------------------------------------------------
+
+@css_task("inout(a)")
+def _micro_chain_task(a):  # noqa: ARG001 - empty body: measures the runtime
+    pass
+
+
+@css_task("input(src) output(dst)")
+def _micro_fan_task(src, dst):  # noqa: ARG001
+    pass
+
+
+def _python_speed_mops(iters: int = 150_000, repeats: int = 3) -> float:
+    """Host calibration: Mops/s of a fixed pure-Python dict/loop probe.
+
+    The submission hot path is interpreter-bound (attribute access,
+    dict lookups, function calls), so its throughput on a given host
+    tracks this probe.  Dividing tasks/sec by the probe rate gives a
+    host-portable number that a committed baseline can gate.
+    """
+
+    d: dict = {}
+    get = d.get
+    best = 0.0
+    for _ in range(max(repeats, 1)):
+        t0 = time.perf_counter()
+        acc = 0
+        for i in range(iters):
+            d[i & 1023] = i
+            acc += get(i & 1023, 0)
+        dt = time.perf_counter() - t0
+        best = max(best, iters / dt / 1e6)
+    return best
+
+
+def _submission_rate_once(variant: str, tasks: int, num_workers: int) -> float:
+    """tasks/sec for one run of an empty-body submission stream."""
+
+    if variant == "chain-1":
+        a = np.zeros(64, np.float32)
+        with SmpssRuntime(num_workers=num_workers):
+            t0 = time.perf_counter()
+            for _ in range(tasks):
+                _micro_chain_task(a)
+            barrier()
+            dt = time.perf_counter() - t0
+    elif variant == "fanout-64":
+        src = np.zeros(64, np.float32)
+        dsts = [np.zeros(64, np.float32) for _ in range(64)]
+        with SmpssRuntime(num_workers=num_workers):
+            t0 = time.perf_counter()
+            for i in range(tasks):
+                _micro_fan_task(src, dsts[i & 63])
+            barrier()
+            dt = time.perf_counter() - t0
+    else:  # pragma: no cover - registry keeps variants in sync
+        raise ValueError(f"unknown variant {variant!r}")
+    return tasks / dt
+
+
+def micro_submission_throughput(
+    tasks: int = 4000,
+    inner_repeats: int = 3,
+    num_workers: int = 2,
+) -> FigureResult:
+    """Submission throughput (tasks/sec) of empty-body task streams.
+
+    Not a paper figure: this gates the runtime's own task_add overhead
+    (the cost section VI's block-size discussion is about) through the
+    same baseline machinery as the figure benchmarks.  Two dependency
+    shapes: ``chain-1`` (every task inout on one datum — a pure serial
+    chain) and ``fanout-64`` (one shared input, 64 round-robin outputs
+    — wide with renaming).  The gated series is normalised by
+    :func:`_python_speed_mops` so a baseline recorded on one host
+    remains meaningful on another; raw tasks/sec land in ``extras``.
+    """
+
+    variants = ["chain-1", "fanout-64"]
+    mops = _python_speed_mops()
+    rates = {
+        v: max(
+            _submission_rate_once(v, tasks, num_workers)
+            for _ in range(max(inner_repeats, 1))
+        )
+        for v in variants
+    }
+    fig = FigureResult(
+        "Microbench",
+        f"Task submission throughput, empty bodies "
+        f"(n={tasks}, {num_workers} workers)",
+        "dependency shape",
+        "normalised throughput (tasks per Mop of host Python)",
+        variants,
+    )
+    fig.add("smpss runtime", [rates[v] / mops for v in variants])
+    fig.extras["tasks_per_second"] = {v: rates[v] for v in variants}
+    fig.extras["calibration_mops"] = mops
+    fig.extras["tasks"] = tasks
+    fig.extras["num_workers"] = num_workers
+    fig.notes.append(
+        "raw: "
+        + ", ".join(f"{v} {rates[v]:,.0f} tasks/s" for v in variants)
+        + f"; host probe {mops:.1f} Mops/s"
+    )
+    return fig

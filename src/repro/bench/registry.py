@@ -33,6 +33,7 @@ FIGURES = {
     "fig14": "fig14_multisort",
     "fig15": "fig15_nqueens",
     "fig16": "fig16_nqueens_scalability",
+    "micro": "micro_submission_throughput",
 }
 
 #: Reduced-scale parameters for ``--quick`` (laptop/CI smoke runs).
@@ -44,6 +45,7 @@ QUICK_PARAMS = {
     "fig14": dict(n=1 << 18, quicksize=1 << 13, threads=(1, 2, 4, 8)),
     "fig15": dict(n=9, threads=(1, 2, 4, 8)),
     "fig16": dict(n=9, threads=(1, 2, 4, 8)),
+    "micro": dict(tasks=1500, inner_repeats=2),
 }
 
 

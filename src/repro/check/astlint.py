@@ -28,7 +28,12 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Optional, Sequence
 
-from ..compiler.translate import CompileError, iter_task_pragmas
+from ..compiler.translate import (
+    CompileError,
+    _WAIT_ON_RE,
+    iter_sync_pragmas,
+    iter_task_pragmas,
+)
 from ..core.pragma import ParsedPragma, PragmaError, parse_pragma
 from ..core.task import Direction
 from .findings import Finding
@@ -207,6 +212,24 @@ def _discover(
             filename, getattr(exc, "lineno", 1) or 1, 1, "bad-pragma",
             str(exc),
         ))
+
+    # Synchronisation pragmas get the same malformed-payload checks the
+    # translator applies, so a broken `wait on(...)` or an argumented
+    # `barrier` is a lint finding, not a surprise at translation time.
+    try:
+        for kind, payload, line in iter_sync_pragmas(source, filename):
+            if kind == "barrier" and payload:
+                findings.append(Finding(
+                    filename, line, 1, "bad-pragma",
+                    "'#pragma css barrier' takes no arguments",
+                ))
+            elif kind == "wait" and _WAIT_ON_RE.match(payload) is None:
+                findings.append(Finding(
+                    filename, line, 1, "bad-pragma",
+                    "expected '#pragma css wait on(expression)'",
+                ))
+    except CompileError:
+        pass  # dangling continuation: already reported above
     return sites
 
 

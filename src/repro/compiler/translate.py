@@ -35,16 +35,17 @@ __all__ = [
     "compile_annotated",
     "load_annotated_module",
     "iter_task_pragmas",
+    "iter_sync_pragmas",
 ]
 
 #: Injected prelude — deliberately a SINGLE line so user code shifts by
-#: exactly one line in tracebacks.
+#: exactly one line in tracebacks.  ``wait on`` binds the first-class
+#: :func:`repro.core.api.wait_on` (traced + in-task-body aware), not an
+#: inline lambda.
 _PRELUDE = (
     "from repro.core.api import css_task as __css_task__, "
-    "barrier as __css_barrier__, current_runtime as __css_runtime__; "
-    "__css_wait_on__ = lambda __obj: ("
-    "__css_runtime__().acquire(__obj) "
-    "if __css_runtime__() is not None else __obj)\n"
+    "barrier as __css_barrier__, current_runtime as __css_runtime__, "
+    "wait_on as __css_wait_on__\n"
 )
 
 _PRAGMA_RE = re.compile(
@@ -163,6 +164,27 @@ def iter_task_pragmas(source: str, filename: str = "<annotated>"):
                 pragma.first_line,
                 _def_line(lines, pragma.last_line, pragma.indent),
             )
+        i = pragma.last_line
+
+
+def iter_sync_pragmas(source: str, filename: str = "<annotated>"):
+    """Yield ``(kind, payload, line)`` per synchronisation pragma.
+
+    Covers ``barrier`` and ``wait`` (not ``task``); *payload* is raw.
+    Used by the :mod:`repro.check` linter to validate synchronisation
+    pragmas — a ``barrier`` with arguments or a ``wait`` without a
+    well-formed ``on(expression)`` — without translating the source.
+    """
+
+    lines = source.split("\n")
+    i = 0
+    while i < len(lines):
+        pragma = _collect_pragma(lines, i, filename)
+        if pragma is None:
+            i += 1
+            continue
+        if pragma.kind in ("barrier", "wait"):
+            yield pragma.kind, pragma.payload, pragma.first_line
         i = pragma.last_line
 
 

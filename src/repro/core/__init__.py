@@ -5,7 +5,8 @@ full inventory.  The stable public surface is re-exported here.
 """
 
 from . import analysis
-from .api import barrier, css_task, current_runtime
+from .api import barrier, css_task, current_runtime, wait_on
+from .config import RuntimeConfig
 from .dependencies import DependencyError, DependencyTracker, TrackerConfig
 from .graph import EdgeKind, TaskGraph
 from .pragma import ParsedPragma, PragmaError, parse_expression, parse_pragma
@@ -13,7 +14,7 @@ from .recorder import RecordedProgram, RecordingRuntime, record_program
 from .regions import Region, RegionError
 from .renaming import AdapterRegistry, DataAdapter, Version, default_registry
 from .representants import Representant, RepresentantTable
-from .runtime import RuntimeConfig, SmpssRuntime, TaskExecutionError
+from .runtime import SmpssRuntime, TaskExecutionError
 from .scheduler import CentralQueueScheduler, HotStealScheduler, SmpssScheduler
 from .task import (
     Direction,
@@ -36,6 +37,7 @@ __all__ = [
     "barrier",
     "css_task",
     "current_runtime",
+    "wait_on",
     "DependencyError",
     "DependencyTracker",
     "TrackerConfig",

@@ -29,7 +29,15 @@ from typing import Callable, Optional
 from .pragma import parse_pragma
 from .task import TaskDefinition
 
-__all__ = ["css_task", "current_runtime", "push_runtime", "pop_runtime", "barrier"]
+__all__ = [
+    "css_task",
+    "current_runtime",
+    "push_runtime",
+    "pop_runtime",
+    "discard_runtime",
+    "barrier",
+    "wait_on",
+]
 
 
 # The active-runtime stack.  The programming model is single-main-thread
@@ -69,12 +77,55 @@ def pop_runtime(runtime) -> None:
             _stack_owner = None
 
 
+def discard_runtime(runtime) -> None:
+    """Remove *runtime* from the stack wherever it sits; never raises.
+
+    The defensive complement of :func:`pop_runtime`: runtimes call it
+    from ``__exit__`` so that an exception unwinding mid-``with`` (or a
+    shutdown that died before its own pop) cannot leave a dead stack
+    entry — and with it a stale ``_stack_owner`` that would wedge every
+    later runtime behind the single-main-thread guard.  A no-op when
+    the runtime is not on the stack.
+    """
+
+    global _stack_owner
+    with _stack_lock:
+        while runtime in _stack:
+            _stack.remove(runtime)
+        if not _stack:
+            _stack_owner = None
+
+
 def barrier() -> None:
     """``#pragma css barrier``: wait for all tasks (no-op sequentially)."""
 
     runtime = current_runtime()
     if runtime is not None:
         runtime.barrier()
+
+
+def wait_on(obj):
+    """``#pragma css wait on(obj)``: a partial barrier on one datum.
+
+    Waits until the last already-submitted writer of *obj* has finished
+    and returns the up-to-date storage (the renamed buffer when
+    renaming redirected the writes, *obj* itself otherwise) — so the
+    main program can read one result, e.g. a pivot index in LU, while
+    every other task keeps running.
+
+    Sequential semantics are preserved in every mode: with no active
+    runtime the call is a no-op returning *obj*; inside a task body
+    (where task calls run inline and data is already up to date) it is
+    likewise a no-op.
+    """
+
+    runtime = current_runtime()
+    if runtime is None:
+        return obj
+    in_body = getattr(runtime, "in_task_body", None)
+    if in_body is not None and in_body():
+        return obj
+    return runtime.acquire(obj)
 
 
 def css_task(pragma: str = "", constants: Optional[dict] = None) -> Callable:
@@ -108,9 +159,14 @@ def css_task(pragma: str = "", constants: Optional[dict] = None) -> Callable:
                 return func(*args, **kwargs)
             # "SMPSs treats task calls inside tasks as normal function
             # calls" (sections VII.B/D): a call made from within an
-            # executing task body runs inline, it does not nest.
-            in_body = getattr(runtime, "in_task_body", None)
-            if in_body is not None and in_body():
+            # executing task body runs inline, it does not nest.  The
+            # try/except is free when the runtime has the method (all
+            # bundled runtimes do) — cheaper per call than getattr.
+            try:
+                inline = runtime.in_task_body()
+            except AttributeError:
+                inline = False
+            if inline:
                 return func(*args, **kwargs)
             return runtime.submit(definition, args, kwargs)
 

@@ -1,0 +1,153 @@
+"""Runtime construction knobs and the one validated path to them.
+
+Every runtime front-end (:class:`~repro.core.runtime.SmpssRuntime`, the
+:class:`~repro.core.recorder.RecordingRuntime`, and the simulator's
+:class:`~repro.sim.simruntime.SimulatedRuntime`) accepts the same two
+construction idioms::
+
+    SmpssRuntime(num_workers=3, trace=True)          # keyword knobs
+    SmpssRuntime(config=RuntimeConfig(trace=True))   # an explicit config
+
+Both funnel through :func:`resolve_config`, which validates the knob
+names once, in one place: an unknown knob raises a ``TypeError`` naming
+the knob (with a did-you-mean suggestion), and a knob supplied both as
+a keyword *and* as a non-default field of an explicit config raises a
+``TypeError`` naming the conflict instead of silently picking a winner.
+The passed-in config object is never mutated — each runtime works on a
+private copy.
+
+Backends that implement only a subset of the knobs (the recorder has no
+worker threads, the simulator has no memory limit) simply ignore the
+fields they do not consume; the knob *names* stay uniform so a config
+built for one backend is valid input for another.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import difflib
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from .scheduler import SmpssScheduler
+
+__all__ = ["RuntimeConfig", "resolve_config"]
+
+
+@dataclass
+class RuntimeConfig:
+    """Knobs of the runtimes (canonical home; see module docstring)."""
+
+    #: Worker threads in addition to the main thread.  ``None``: fill
+    #: the machine (cpu_count - 1, at least 1).
+    num_workers: Optional[int] = None
+    #: Graph-size blocking condition: the main thread helps execute
+    #: tasks while more than this many are in flight.
+    max_pending_tasks: int = 10_000
+    #: Memory-limit blocking condition (section III lists "a memory
+    #: limit" among the main thread's blocking conditions): while live
+    #: renamed buffers exceed this many bytes, the main thread stops
+    #: submitting and helps execute.  ``None`` disables the limit.
+    memory_limit_bytes: Optional[int] = None
+    #: Retain finished nodes/edges for post-mortem graph inspection.
+    keep_graph: bool = False
+    #: Renaming switches (see :class:`TrackerConfig`).
+    enable_renaming: bool = True
+    rename_inout: bool = True
+    #: Record trace events (the "tracing-enabled runtime").  Collection
+    #: is per-thread ring buffers (:class:`ThreadLocalTracer`): workers
+    #: append to their own buffer, merged when the events are read.
+    trace: bool = False
+    #: Events each thread's ring buffer holds before dropping oldest.
+    trace_buffer_size: int = 1 << 16
+    #: Populate a :class:`repro.obs.MetricsRegistry` (per-task-type
+    #: durations, analysis/barrier overhead, queue depths).  Much
+    #: cheaper than tracing; on by default.
+    metrics: bool = True
+    #: Copy final renamed versions back into user objects at barriers.
+    write_back_on_barrier: bool = True
+    #: Access sanitizer (repro.check dynamic layer): execute task bodies
+    #: against read-only guards on non-written numpy parameters and
+    #: write-track declared outputs.  Debugging mode, off by default.
+    sanitize: bool = False
+    #: Ready-list structure; swap for CentralQueueScheduler in ablations.
+    scheduler_factory: Callable = SmpssScheduler
+    #: Extra names usable in dimension/region expressions (the paper's
+    #: compile-time constants like N and M).
+    constants: dict = field(default_factory=dict)
+
+    def fill_num_workers(self) -> None:
+        """Resolve ``num_workers=None`` to the machine's free cores."""
+
+        if self.num_workers is None:
+            self.num_workers = max(1, (os.cpu_count() or 2) - 1)
+
+
+_FIELDS = {f.name: f for f in dataclasses.fields(RuntimeConfig)}
+
+
+def _default_of(f: dataclasses.Field):
+    if f.default is not dataclasses.MISSING:
+        return f.default
+    return f.default_factory()  # type: ignore[misc]
+
+
+def resolve_config(
+    config: Optional[RuntimeConfig] = None,
+    overrides: Optional[dict] = None,
+    *,
+    runtime: str = "runtime",
+) -> RuntimeConfig:
+    """Merge an explicit config with keyword knobs into a fresh config.
+
+    * ``config=None`` and no overrides: all defaults.
+    * Unknown override names raise ``TypeError`` naming the knob and,
+      when a near-miss exists, suggesting the intended one.
+    * A knob given both ways (a keyword *and* a non-default value on the
+      explicit config) raises ``TypeError`` naming the conflict.
+
+    The returned config is always a private copy — the caller's
+    ``config`` object is never mutated.
+    """
+
+    overrides = overrides or {}
+    if config is not None and not isinstance(config, RuntimeConfig):
+        raise TypeError(
+            f"{runtime}: config must be a RuntimeConfig, "
+            f"not {type(config).__name__}"
+        )
+    unknown = [name for name in overrides if name not in _FIELDS]
+    if unknown:
+        parts = []
+        for name in unknown:
+            close = difflib.get_close_matches(name, _FIELDS, n=1)
+            hint = f" (did you mean {close[0]!r}?)" if close else ""
+            parts.append(f"{name!r}{hint}")
+        raise TypeError(
+            f"{runtime}: unknown runtime option(s) {', '.join(parts)}; "
+            f"valid knobs: {', '.join(sorted(_FIELDS))}"
+        )
+    if config is None:
+        resolved = RuntimeConfig()
+    else:
+        conflicts = [
+            name
+            for name in overrides
+            if getattr(config, name) != _default_of(_FIELDS[name])
+            and getattr(config, name) != overrides[name]
+        ]
+        if conflicts:
+            raise TypeError(
+                f"{runtime}: conflicting runtime option(s) "
+                f"{', '.join(repr(c) for c in sorted(conflicts))}: given both "
+                f"as a keyword and as a non-default field of the explicit "
+                f"config; set each knob in exactly one place"
+            )
+        resolved = dataclasses.replace(config)
+        # A shared mutable default (constants) must not alias the
+        # caller's config across the copy.
+        resolved.constants = dict(config.constants)
+    for name, value in overrides.items():
+        setattr(resolved, name, value)
+    return resolved

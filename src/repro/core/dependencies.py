@@ -92,13 +92,21 @@ class TrackedDatum:
     """Per-base-object tracking state."""
 
     __slots__ = (
-        "base", "adapter", "chains", "region_mode", "renamed_buffers", "tracker",
+        "base", "adapter", "chains", "region_mode", "renamed_buffers",
+        "tracker", "mat_lock",
     )
 
     def __init__(self, base: Any, adapter, tracker=None) -> None:
         self.base = base
         self.adapter = adapter
         self.tracker = tracker
+        #: Guards lazy materialisation/release of this datum's renamed
+        #: buffers.  One lock per datum (not per version): versions are
+        #: allocated once per *submission*, data once per user object,
+        #: and versions of distinct data never contend on it.
+        import threading
+
+        self.mat_lock = threading.Lock()
         #: access-key -> chain; ``None`` key = whole-object accesses.
         self.chains: dict[Optional[Region], _Chain] = {}
         #: Set on the first region access; once on, the datum uses
@@ -245,6 +253,40 @@ class DependencyTracker:
         """Insert *task* into the graph with all its dependency edges."""
 
         self.graph.add_task(task)
+        data = self._data
+        call_values = task.call_values
+        if call_values is not None:
+            # Simple positional task: read the plan's precompiled
+            # ``(name, direction, position)`` specs against the bound
+            # value tuple directly — no ParamAccess objects exist (or
+            # get allocated) on this path.
+            opaque = Direction.OPAQUE
+            for name, direction, pos in (
+                task.definition._invocation_plan.access_specs
+            ):
+                if direction is opaque:
+                    continue  # void *: passes through unaltered
+                value = call_values[pos]
+                if isinstance(value, _SCALAR_TYPES):
+                    if not self.config.allow_untracked_scalars:
+                        raise DependencyError(
+                            f"task {task.name!r}: parameter {name!r} is a "
+                            f"by-value scalar but untracked scalars are "
+                            f"disabled"
+                        )
+                    continue
+                datum = data.get(id(value))
+                if datum is None:
+                    datum = TrackedDatum(
+                        value, self.registry.adapter_for(value), tracker=self
+                    )
+                    data[id(value)] = datum
+                if datum.region_mode:
+                    region = Region.full(self._rank_of(datum))
+                    self._analyze_region(task, datum, region, direction, name)
+                else:
+                    self._analyze_whole(task, datum, direction, name)
+            return
         for access in task.accesses:
             direction = access.direction
             if direction is Direction.OPAQUE:
@@ -257,44 +299,56 @@ class DependencyTracker:
                         f"by-value scalar but untracked scalars are disabled"
                     )
                 continue
-            datum = self.datum_for(value)
+            datum = data.get(id(value))
+            if datum is None:
+                datum = TrackedDatum(
+                    value, self.registry.adapter_for(value), tracker=self
+                )
+                data[id(value)] = datum
             if access.region is not None:
-                self._analyze_region(task, datum, access.region, direction, access)
+                self._analyze_region(
+                    task, datum, access.region, direction, access.name
+                )
             elif datum.region_mode:
                 region = Region.full(self._rank_of(datum))
-                self._analyze_region(task, datum, region, direction, access)
+                self._analyze_region(task, datum, region, direction, access.name)
             else:
-                self._analyze_whole(task, datum, direction, access)
+                self._analyze_whole(task, datum, direction, access.name)
 
     # ------------------------------------------------------------------
     # whole-object path (renaming-capable)
     # ------------------------------------------------------------------
-    def _analyze_whole(self, task, datum: TrackedDatum, direction, access) -> None:
+    def _analyze_whole(self, task, datum: TrackedDatum, direction, name) -> None:
         chain = datum.chains.get(None)
         if chain is None:
             chain = datum.whole_chain()
         cur = chain.current
+        graph = self.graph
+        finished = TaskState.FINISHED
 
         if direction is Direction.INPUT:
             producer = cur.producer
-            if producer is not None and producer.state is not TaskState.FINISHED:
-                self.graph.add_dependency(producer, task, EdgeKind.TRUE)
+            if producer is not None and producer.state is not finished:
+                graph.add_dependency(producer, task, EdgeKind.TRUE)
             cur.readers.append(task)
-            task.reads.append((access.name, cur))
+            task.reads.append((name, cur))
             return
 
         renaming = self.config.enable_renaming and datum.adapter.renamable
 
         if direction is Direction.OUTPUT:
+            producer = cur.producer
             pending_readers = (
                 [t for t in cur.pending_readers() if t is not task]
                 if cur.readers
                 else []
             )
-            hazard = (not _finished(cur.producer)) or pending_readers
+            hazard = (
+                producer is not None and producer.state is not finished
+            ) or pending_readers
             if hazard and renaming:
                 newv = Version(datum, chain.version_count, StorageKind.FRESH)
-                self.graph.note_rename()
+                graph.note_rename()
                 if self.tracer:
                     self.tracer.rename(task, datum, StorageKind.FRESH)
             else:
@@ -303,14 +357,14 @@ class DependencyTracker:
                 newv = Version(datum, chain.version_count, StorageKind.SAME, prev=cur)
             newv.producer = task
             chain.roll(newv)
-            task.writes.append((access.name, newv))
+            task.writes.append((name, newv))
             return
 
         if direction is Direction.INOUT:
             producer = cur.producer
-            if producer is not None and producer.state is not TaskState.FINISHED:
+            if producer is not None and producer.state is not finished:
                 # reads the previous value: always a RAW dependency
-                self.graph.add_dependency(producer, task, EdgeKind.TRUE)
+                graph.add_dependency(producer, task, EdgeKind.TRUE)
             pending_readers = (
                 [t for t in cur.pending_readers() if t is not task]
                 if cur.readers
@@ -318,12 +372,12 @@ class DependencyTracker:
             )
             if pending_readers and renaming and self.config.rename_inout:
                 newv = Version(datum, chain.version_count, StorageKind.CLONE, prev=cur)
-                self.graph.note_rename()
+                graph.note_rename()
                 if self.tracer:
                     self.tracer.rename(task, datum, StorageKind.CLONE)
             else:
                 for reader in pending_readers:
-                    self.graph.add_dependency(reader, task, EdgeKind.ANTI)
+                    graph.add_dependency(reader, task, EdgeKind.ANTI)
                 newv = Version(datum, chain.version_count, StorageKind.SAME, prev=cur)
             newv.producer = task
             chain.roll(newv)
@@ -331,8 +385,8 @@ class DependencyTracker:
             # from it at execution time): register as a reader so the
             # memory manager keeps the buffer alive until then.
             cur.readers.append(task)
-            task.reads.append((access.name, cur))
-            task.writes.append((access.name, newv))
+            task.reads.append((name, cur))
+            task.writes.append((name, newv))
             return
 
         raise DependencyError(f"unexpected direction {direction}")  # pragma: no cover
@@ -351,7 +405,7 @@ class DependencyTracker:
     # region path (edge-based, no renaming)
     # ------------------------------------------------------------------
     def _analyze_region(
-        self, task, datum: TrackedDatum, region: Region, direction, access
+        self, task, datum: TrackedDatum, region: Region, direction, name
     ) -> None:
         if not datum.region_mode:
             # Switching an object into region mode is only sound while
@@ -379,7 +433,7 @@ class DependencyTracker:
             target.current.readers.append(task)
             if target not in overlapping:  # freshly created chain
                 pass
-            task.reads.append((access.name, target.current))
+            task.reads.append((name, target.current))
 
         if direction.writes:
             for chain in overlapping:
@@ -396,7 +450,7 @@ class DependencyTracker:
             )
             newv.producer = task
             target.roll(newv)
-            task.writes.append((access.name, newv))
+            task.writes.append((name, newv))
             # Conservatively roll every other overlapping chain so its
             # future readers order after this write (transitively after
             # the displaced producer via the OUTPUT edge above).

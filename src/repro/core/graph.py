@@ -65,12 +65,15 @@ class TaskGraph:
     # construction
     # ------------------------------------------------------------------
     def add_task(self, task: TaskInstance) -> None:
-        if task.task_id in self._tasks:
-            raise ValueError(f"task id {task.task_id} added twice")
-        self._tasks[task.task_id] = task
+        task_id = task.task_id
+        tasks = self._tasks
+        if task_id in tasks:
+            raise ValueError(f"task id {task_id} added twice")
+        tasks[task_id] = task
         self._pending += 1
-        self.stats.total_tasks += 1
-        self.stats.tasks_by_name[task.name] += 1
+        stats = self.stats
+        stats.total_tasks += 1
+        stats.tasks_by_name[task.definition.name] += 1
 
     def add_dependency(
         self, pred: TaskInstance, succ: TaskInstance, kind: str = EdgeKind.TRUE
@@ -86,13 +89,15 @@ class TaskGraph:
             return False
         if pred.state is TaskState.FINISHED:
             return False
-        if succ in pred.successors:
+        successors = pred.successors
+        if succ in successors:
             return False
-        pred.successors.add(succ)
+        successors.add(succ)
         succ.predecessors.add(pred)
         succ.num_pending_deps += 1
-        self.stats.total_edges += 1
-        self.stats.edges_by_kind[kind] += 1
+        stats = self.stats
+        stats.total_edges += 1
+        stats.edges_by_kind[kind] += 1
         if self.keep_finished:
             self._edges[(pred.task_id, succ.task_id)] = kind
         return True

@@ -6,6 +6,16 @@ consumes — evaluating dimension specifiers and array-region bounds
 against the actual argument values, exactly when the paper's runtime
 would ("the runtime takes the memory address, size and directionality
 of each parameter at each task invocation").
+
+The per-call work is precompiled: :func:`plan_for` builds (once per
+:class:`TaskDefinition`) an :class:`InvocationPlan` holding everything
+that does not depend on argument *values* — parameter order, per-clause
+direction/position tuples, the defaults tail for short positional
+calls, and whether any clause needs expression evaluation at all.  The
+common task shape (plain positional call, no dimension or region
+specifiers) then instantiates with two dict builds and zero ``inspect``
+machinery — this is the paper's per-``task_add`` overhead, the cost
+that caps submission throughput for fine-grained applications.
 """
 
 from __future__ import annotations
@@ -18,7 +28,7 @@ from .pragma import PragmaError
 from .regions import FULL_DIM, Region, RegionError
 from .task import InvocationError, ParamAccess, TaskDefinition, TaskInstance
 
-__all__ = ["build_accesses", "instantiate"]
+__all__ = ["InvocationPlan", "build_accesses", "instantiate", "plan_for"]
 
 
 def _expression_env(arguments: dict, constants: Optional[dict]) -> dict:
@@ -142,27 +152,127 @@ def _resolve_region(definition, spec, value, env) -> Region:
         ) from exc
 
 
+class InvocationPlan:
+    """Precompiled call-site binding for one :class:`TaskDefinition`.
+
+    Everything derivable from the declaration alone is computed here,
+    once: ordered parameter names, the ``(name, direction, position)``
+    triple of every clause appearance, the defaults tail, and whether
+    any clause carries dimension/region specifiers (the only case that
+    needs expression evaluation against argument values).
+    """
+
+    __slots__ = (
+        "definition",
+        "param_names",
+        "n_params",
+        "n_required",
+        "defaults_tail",
+        "access_specs",
+        "simple",
+        "high_priority",
+        "own_constants",
+    )
+
+    def __init__(self, definition: TaskDefinition):
+        self.definition = definition
+        self.param_names = definition.param_names
+        self.n_params = len(definition.param_names)
+        positions = definition.positions
+        # Defaults tail: positional calls that omit trailing defaulted
+        # parameters bind without touching inspect.Signature.bind.
+        defaults: list = []
+        for name, param in definition.signature.parameters.items():
+            if param.default is not param.empty:
+                defaults.append(param.default)
+            elif defaults:
+                defaults.clear()  # non-default after default: signature
+                break             # error at def time; stay conservative
+        self.defaults_tail = tuple(defaults)
+        self.n_required = self.n_params - len(self.defaults_tail)
+        self.access_specs = tuple(
+            (spec.name, spec.direction, positions.get(spec.name, -1))
+            for spec in definition.params
+        )
+        self.simple = not definition.needs_expressions
+        self.high_priority = definition.high_priority
+        self.own_constants = getattr(definition, "constants", None) or None
+
+    def instantiate(
+        self, args: tuple, kwargs: dict, constants: Optional[dict] = None
+    ) -> TaskInstance:
+        """Bind + build accesses + create the dynamic task instance."""
+
+        n = len(args)
+        if not kwargs and self.n_required <= n <= self.n_params:
+            if n < self.n_params:
+                args = args + self.defaults_tail[n - self.n_required:]
+            if self.simple:
+                # The hot shape: accesses/arguments derive lazily from
+                # the positional value tuple (TaskInstance.call_values);
+                # nothing else is allocated per submission.
+                return TaskInstance(
+                    definition=self.definition,
+                    accesses=None,
+                    arguments=None,
+                    high_priority=self.high_priority,
+                    call_values=args,
+                )
+            arguments = dict(zip(self.param_names, args))
+        else:
+            arguments = self.definition.bind_dict(args, kwargs)
+            if self.simple:
+                return TaskInstance(
+                    definition=self.definition,
+                    accesses=None,
+                    arguments=arguments,
+                    high_priority=self.high_priority,
+                    call_values=tuple(
+                        arguments[name] for name in self.param_names
+                    ),
+                )
+        # Dimension/region specifiers present: evaluate expressions
+        # against the actual argument values (the paper's section V.A).
+        if constants or self.own_constants:
+            merged = dict(constants) if constants else {}
+            if self.own_constants:
+                merged.update(self.own_constants)
+        else:
+            merged = None
+        accesses = build_accesses(self.definition, arguments, merged)
+        return TaskInstance(
+            definition=self.definition,
+            accesses=accesses,
+            arguments=arguments,
+            high_priority=self.high_priority,
+        )
+
+
+def plan_for(definition: TaskDefinition) -> InvocationPlan:
+    """The (cached) precompiled invocation plan of *definition*."""
+
+    plan = definition._invocation_plan
+    if plan is None:
+        # Benign race: two threads building the same plan produce
+        # equivalent objects; last store wins.
+        plan = definition._invocation_plan = InvocationPlan(definition)
+    return plan
+
+
 def instantiate(
     definition: TaskDefinition,
     args: tuple,
     kwargs: dict,
     constants: Optional[dict] = None,
 ) -> TaskInstance:
-    """Bind + build accesses + create the dynamic task instance."""
+    """Bind + build accesses + create the dynamic task instance.
 
-    arguments = definition.bind_dict(args, kwargs)
-    if constants or getattr(definition, "constants", None):
-        merged = dict(constants) if constants else {}
-        merged.update(getattr(definition, "constants", None) or {})
-    else:
-        merged = None
-    accesses = build_accesses(definition, arguments, merged)
-    return TaskInstance(
-        definition=definition,
-        accesses=accesses,
-        arguments=arguments,
-        high_priority=definition.high_priority,
-    )
+    Thin wrapper over the definition's precompiled
+    :class:`InvocationPlan`; every runtime front-end funnels through
+    the same plan, so they all share the fast path.
+    """
+
+    return plan_for(definition).instantiate(args, kwargs, constants)
 
 
 def resolve_call_values(task: TaskInstance, sanitizer=None) -> list:
@@ -177,16 +287,20 @@ def resolve_call_values(task: TaskInstance, sanitizer=None) -> list:
     non-written parameters, write tracking on the rest).
     """
 
-    resolved = dict(task.arguments)
+    definition = task.definition
+    call_values = task.call_values
+    if call_values is not None:
+        values = list(call_values)
+    else:
+        arguments = task.arguments
+        values = [arguments[name] for name in definition.param_names]
+    positions = definition.positions
     for name, version in task.reads:
-        if version.datum.region_mode:
-            continue
-        resolved[name] = version.resolve_storage()
+        if not version.datum.region_mode:
+            values[positions[name]] = version.resolve_storage()
     for name, version in task.writes:
-        if version.datum.region_mode:
-            continue
-        resolved[name] = version.resolve_storage()
-    values = [resolved[name] for name in task.definition.param_names]
+        if not version.datum.region_mode:
+            values[positions[name]] = version.resolve_storage()
     if sanitizer is not None:
         values = sanitizer.wrap(task, values)
     return values

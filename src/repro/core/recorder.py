@@ -32,6 +32,7 @@ from time import perf_counter
 from typing import Literal, Optional
 
 from . import api as _api
+from .config import RuntimeConfig, resolve_config
 from .dependencies import DependencyTracker, TrackerConfig
 from .graph import TaskGraph
 from .invocation import instantiate, resolve_call_values
@@ -83,22 +84,28 @@ class RecordingRuntime:
     def __init__(
         self,
         execute: Literal["eager", "skip"] = "eager",
-        keep_graph: bool = True,
-        enable_renaming: bool = True,
-        rename_inout: bool = True,
-        constants: Optional[dict] = None,
+        config: Optional[RuntimeConfig] = None,
+        **knobs,
     ):
+        # *execute* is the one backend-specific argument; every shared
+        # knob goes through the same validated path as SmpssRuntime.
+        # Recording exists to inspect the DAG afterwards, so the
+        # backend default for keep_graph flips to True.
+        if config is None:
+            knobs.setdefault("keep_graph", True)
+        self.config = resolve_config(config, knobs, runtime="RecordingRuntime")
         self.execute = execute
         reset_task_ids()
-        self.graph = TaskGraph(keep_finished=keep_graph)
+        self.graph = TaskGraph(keep_finished=self.config.keep_graph)
         self.tracker = DependencyTracker(
             self.graph,
             config=TrackerConfig(
-                enable_renaming=enable_renaming, rename_inout=rename_inout
+                enable_renaming=self.config.enable_renaming,
+                rename_inout=self.config.rename_inout,
             ),
             tracer=NullTracer(),
         )
-        self.constants = constants or {}
+        self.constants = self.config.constants
         self.events: list[tuple] = []
         from ..obs.metrics import MetricsRegistry
 
@@ -163,8 +170,10 @@ class RecordingRuntime:
 
     def __exit__(self, exc_type, exc, tb) -> None:
         if self._entered:
-            _api.pop_runtime(self)
             self._entered = False
+            # Defensive pop: never leaves a stale stack entry (or a
+            # stale owner) behind, even after a mid-``with`` exception.
+            _api.discard_runtime(self)
 
     def finish(self) -> RecordedProgram:
         """Close the recording and return the program description."""

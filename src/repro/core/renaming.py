@@ -170,20 +170,32 @@ class GenericObjectAdapter(DataAdapter):
 
 
 class AdapterRegistry:
-    """Ordered adapter lookup, first match wins; extensible by users."""
+    """Ordered adapter lookup, first match wins; extensible by users.
+
+    Lookups are memoised per concrete type: ``matches`` implementations
+    are ``isinstance`` checks, so every instance of a type resolves to
+    the same adapter and the scan need only run once per type.  The
+    memo is invalidated on :meth:`register`.
+    """
 
     def __init__(self) -> None:
         self._adapters: list[DataAdapter] = []
+        self._by_type: dict[type, DataAdapter] = {}
 
     def register(self, adapter: DataAdapter, *, prepend: bool = True) -> None:
         if prepend:
             self._adapters.insert(0, adapter)
         else:
             self._adapters.append(adapter)
+        self._by_type.clear()
 
     def adapter_for(self, obj: Any) -> DataAdapter:
+        adapter = self._by_type.get(type(obj))
+        if adapter is not None:
+            return adapter
         for adapter in self._adapters:
             if adapter.matches(obj):
+                self._by_type[type(obj)] = adapter
                 return adapter
         raise RenamingError(f"no adapter for {type(obj).__name__}")  # pragma: no cover
 
@@ -245,7 +257,16 @@ class Version:
         #: TaskInstances that read this version (pruned lazily).
         self.readers: list = []
         self._storage: Any = None
-        self._lock = threading.Lock()
+        #: Materialisation lock — only FRESH/CLONE versions ever
+        #: materialise or drop storage, so INITIAL/SAME versions (the
+        #: bulk of a fine-grained submission stream) carry None.  The
+        #: lock itself is the owning datum's (one per user object, not
+        #: one allocation per renamed version).
+        self._lock = (
+            datum.mat_lock
+            if kind is StorageKind.FRESH or kind is StorageKind.CLONE
+            else None
+        )
         #: Set when the renamed buffer was garbage-collected (the
         #: runtime's memory-limit machinery); resolving it again would
         #: be a use-after-free bug, so it raises.
@@ -271,6 +292,14 @@ class Version:
             return self.root.resolve_storage()
         if self.kind is StorageKind.INITIAL:
             return self.datum.base
+        # Materialised storage is final until released, so the common
+        # re-resolve (every reader after the producer) skips the lock.
+        # This also keeps the shared per-datum lock non-recursive: a
+        # CLONE materialising under it resolves its predecessor — by
+        # then always INITIAL or already materialised — lock-free.
+        storage = self._storage
+        if storage is not None:
+            return storage
         with self._lock:
             if self.released:
                 raise RenamingError(
@@ -300,6 +329,8 @@ class Version:
     def drop_storage(self) -> int:
         """Free a materialised renamed buffer; returns bytes released."""
 
+        if self._lock is None:  # INITIAL/SAME: nothing to free
+            return 0
         with self._lock:
             if self._storage is None or self.released:
                 return 0

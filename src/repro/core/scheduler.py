@@ -142,6 +142,27 @@ class SmpssScheduler:
         if self.tracer:
             self.tracer.task_ready(task, thread)
 
+    def push_ready_batch(self, tasks, thread: int) -> None:
+        """All tasks released by one completion on *thread*, together.
+
+        Semantically ``push_unlocked`` per task; a single entry point
+        lets the threaded runtime insert a whole completion's worth of
+        unlocked successors under one scheduler-lock acquisition and
+        pairs with its batched ``notify(len(tasks))`` wakeup.
+        """
+
+        own = self.locals[thread]
+        high = self.high
+        stats = self.stats
+        tracer = self.tracer
+        for task in tasks:
+            task.state = TaskState.READY
+            (high if task.high_priority else own).append(task)
+            if tracer:
+                tracer.task_ready(task, thread)
+        stats.pushed_unlocked += len(tasks)
+        self._ready_count += len(tasks)
+
     # ------------------------------------------------------------------
     # selection
     # ------------------------------------------------------------------
@@ -273,6 +294,12 @@ class CentralQueueScheduler:
         self._ready_count += 1
         if self.tracer:
             self.tracer.task_ready(task, thread)
+
+    def push_ready_batch(self, tasks, thread: int) -> None:
+        """Interface parity with :meth:`SmpssScheduler.push_ready_batch`."""
+
+        for task in tasks:
+            self.push_unlocked(task, thread)
 
     def pop(self, thread: int) -> Optional[TaskInstance]:
         source = self.high if self.high else self.queue

@@ -25,8 +25,8 @@ import enum
 import inspect
 import itertools
 import threading
-from dataclasses import dataclass, field
-from typing import Any, Callable, Optional, Sequence
+from dataclasses import dataclass
+from typing import Any, Callable, NamedTuple, Optional, Sequence
 
 __all__ = [
     "Direction",
@@ -69,8 +69,7 @@ class TaskState(enum.Enum):
     FINISHED = "finished"
 
 
-@dataclass(frozen=True)
-class ParamAccess:
+class ParamAccess(NamedTuple):
     """One concrete (datum, region, direction) access of a task instance.
 
     The dependency engine consumes a flat list of these.  A parameter
@@ -78,6 +77,10 @@ class ParamAccess:
     regions (allowed by section V.A: "a single parameter may appear
     several times in the directionality clauses") contributes one
     :class:`ParamAccess` per appearance.
+
+    A ``NamedTuple`` rather than a (frozen) dataclass: construction is a
+    single C-level tuple build, and one to two of these are created per
+    task submission — the paper's per-``task_add`` overhead.
     """
 
     name: str
@@ -99,8 +102,11 @@ _counter_lock = threading.Lock()
 
 
 def _next_task_id() -> int:
-    with _counter_lock:
-        return next(_task_counter)
+    # itertools.count.__next__ is atomic at the C level, so the id
+    # allocation itself needs no lock — this is on the per-submission
+    # hot path.  (Submission is main-thread-only anyway; the atomicity
+    # covers stray instantiations from tests/benchmarks.)
+    return next(_task_counter)
 
 
 def reset_task_ids() -> None:
@@ -150,6 +156,10 @@ class TaskDefinition:
         self.directions_by_name: dict[str, set[Direction]] = {}
         for p in self.params:
             self.directions_by_name.setdefault(p.name, set()).add(p.direction)
+        #: Precompiled invocation plan, attached lazily by
+        #: :func:`repro.core.invocation.plan_for` (kept off this module
+        #: to avoid a task -> invocation import cycle).
+        self._invocation_plan = None
 
     @property
     def signature(self) -> inspect.Signature:
@@ -190,32 +200,91 @@ class TaskDefinition:
         return f"TaskDefinition({self.name}: {clauses})"
 
 
-@dataclass
 class TaskInstance:
-    """One dynamic invocation of a task (a node of the task graph)."""
+    """One dynamic invocation of a task (a node of the task graph).
 
-    definition: TaskDefinition
-    accesses: list[ParamAccess]
-    #: Values for every parameter as bound at the call site.
-    arguments: dict[str, Any]
-    task_id: int = field(default_factory=_next_task_id)
-    high_priority: bool = False
-    state: TaskState = TaskState.BLOCKED
+    A plain ``__slots__`` class with a hand-written ``__init__``: one of
+    these is allocated per submission, so the generated-dataclass
+    machinery (per-field defaults resolution, ``__set_name__`` walks)
+    is measurable overhead on the fast path.
+    """
 
-    # --- graph bookkeeping (maintained by core.graph.TaskGraph) -------
-    #: number of incomplete true-dependency predecessors
-    num_pending_deps: int = 0
-    predecessors: set = field(default_factory=set)
-    successors: set = field(default_factory=set)
+    __slots__ = (
+        "definition",
+        "_accesses",
+        "_arguments",
+        "call_values",
+        "task_id",
+        "high_priority",
+        "state",
+        "num_pending_deps",
+        "predecessors",
+        "successors",
+        "executed_by",
+        "reads",
+        "writes",
+        "sanitizer_state",
+    )
 
-    # --- runtime bookkeeping ------------------------------------------
-    #: worker index that executed the task (-1: not yet / main thread 0)
-    executed_by: int = -1
-    #: versions this instance reads / writes (set by the dependency engine)
-    reads: list = field(default_factory=list)
-    writes: list = field(default_factory=list)
-    #: snapshots taken by the access sanitizer (None when sanitize=False)
-    sanitizer_state: Any = None
+    def __init__(
+        self,
+        definition: TaskDefinition,
+        accesses: Optional[list],
+        arguments: Optional[dict],
+        task_id: Optional[int] = None,
+        high_priority: bool = False,
+        call_values: Optional[tuple] = None,
+    ) -> None:
+        self.definition = definition
+        self._accesses = accesses
+        self._arguments = arguments
+        #: Bound argument values in positional (signature) order, set by
+        #: the plan's simple fast path.  When present, ``accesses`` and
+        #: ``arguments`` are derived lazily from it — the dependency
+        #: engine reads the plan's access specs + this tuple directly,
+        #: so the common submission allocates neither.
+        self.call_values = call_values
+        self.task_id = next(_task_counter) if task_id is None else task_id
+        self.high_priority = high_priority
+        self.state = TaskState.BLOCKED
+        # --- graph bookkeeping (maintained by core.graph.TaskGraph) ---
+        #: number of incomplete true-dependency predecessors
+        self.num_pending_deps = 0
+        self.predecessors: set = set()
+        self.successors: set = set()
+        # --- runtime bookkeeping --------------------------------------
+        #: worker index that executed the task (-1: not yet / main 0)
+        self.executed_by = -1
+        #: versions this instance reads / writes (dependency engine)
+        self.reads: list = []
+        self.writes: list = []
+        #: snapshots taken by the access sanitizer (None: sanitize off)
+        self.sanitizer_state: Any = None
+
+    @property
+    def accesses(self) -> list:
+        """One :class:`ParamAccess` per clause appearance (lazy)."""
+
+        acc = self._accesses
+        if acc is None:
+            values = self.call_values
+            acc = self._accesses = [
+                ParamAccess(name, direction, values[pos], None, pos)
+                for name, direction, pos
+                in self.definition._invocation_plan.access_specs
+            ]
+        return acc
+
+    @property
+    def arguments(self) -> dict:
+        """Values for every parameter as bound at the call site (lazy)."""
+
+        args = self._arguments
+        if args is None:
+            args = self._arguments = dict(
+                zip(self.definition.param_names, self.call_values)
+            )
+        return args
 
     @property
     def name(self) -> str:

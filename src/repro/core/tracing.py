@@ -39,6 +39,10 @@ class EventKind:
     RENAME = "rename"
     BARRIER_ENTER = "barrier_enter"
     BARRIER_EXIT = "barrier_exit"
+    #: ``wait_on(obj)`` partial barrier: the main thread blocks on one
+    #: datum's producer (only emitted when it actually has to wait).
+    WAIT_ON_ENTER = "wait_on_enter"
+    WAIT_ON_EXIT = "wait_on_exit"
     WRITE_BACK = "write_back"
     #: sanitizer diagnostic (repro.check): rule + parameter in extra
     VIOLATION = "violation"
@@ -111,6 +115,12 @@ class Tracer:
 
     def barrier_exit(self, thread: int = 0) -> None:
         self._emit(EventKind.BARRIER_EXIT, thread=thread)
+
+    def wait_on_enter(self, thread: int = 0) -> None:
+        self._emit(EventKind.WAIT_ON_ENTER, thread=thread)
+
+    def wait_on_exit(self, thread: int = 0) -> None:
+        self._emit(EventKind.WAIT_ON_EXIT, thread=thread)
 
     def write_back(self, count: int) -> None:
         self._emit(EventKind.WRITE_BACK, extra=(count,))

@@ -37,6 +37,8 @@ _INSTANT_KINDS = {
     EventKind.RENAME: "rename",
     EventKind.BARRIER_ENTER: "barrier_enter",
     EventKind.BARRIER_EXIT: "barrier_exit",
+    EventKind.WAIT_ON_ENTER: "wait_on_enter",
+    EventKind.WAIT_ON_EXIT: "wait_on_exit",
     EventKind.WRITE_BACK: "write_back",
 }
 

@@ -88,40 +88,103 @@ class HistogramMetric:
     (``frexp(v)[1]``): values in ``[2**(k-1), 2**k)`` land in bucket
     ``k``.  Negative and zero observations land in a single underflow
     bucket (key ``None`` in the snapshot).
+
+    Aggregation is *deferred*: :meth:`observe` only appends to a raw
+    buffer (a single C-level list append — histograms sit on the
+    runtime's per-task hot path), and the tallies are folded in when
+    they are read, or whenever the buffer reaches a bounded size, so
+    memory stays O(1) amortised on long runs.  Like the registry
+    itself, a single histogram is not internally locked — the owning
+    runtime serialises updates to it.
     """
 
-    __slots__ = ("name", "labels", "count", "sum", "min", "max", "buckets")
+    __slots__ = ("name", "labels", "buckets", "_count", "_sum", "_min", "_max", "_raw")
+
+    #: Fold the raw buffer into the tallies at this many pending
+    #: observations (bounds memory; amortises the fold to O(1)/observe).
+    _FOLD_AT = 4096
 
     def __init__(self, name: str, labels: tuple):
         self.name = name
         self.labels = labels
-        self.count = 0
-        self.sum = 0.0
-        self.min = math.inf
-        self.max = -math.inf
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
         self.buckets: dict = {}
+        self._raw: list = []
 
     def observe(self, value) -> None:
-        self.count += 1
-        self.sum += value
-        if value < self.min:
-            self.min = value
-        if value > self.max:
-            self.max = value
-        key = math.frexp(value)[1] if value > 0 else None
-        self.buckets[key] = self.buckets.get(key, 0) + 1
+        raw = self._raw
+        raw.append(value)
+        if len(raw) >= self._FOLD_AT:
+            self._fold()
+
+    def _fold(self) -> None:
+        raw = self._raw
+        if not raw:
+            return
+        self._raw = []
+        self._count += len(raw)
+        self._sum += sum(raw)
+        lo = min(raw)
+        hi = max(raw)
+        if lo < self._min:
+            self._min = lo
+        if hi > self._max:
+            self._max = hi
+        buckets = self.buckets
+        frexp = math.frexp
+        get = buckets.get
+        for value in raw:
+            key = frexp(value)[1] if value > 0 else None
+            buckets[key] = get(key, 0) + 1
+
+    @property
+    def count(self) -> int:
+        self._fold()
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        self._fold()
+        return self._sum
+
+    @property
+    def min(self) -> float:
+        self._fold()
+        return self._min
+
+    @property
+    def max(self) -> float:
+        self._fold()
+        return self._max
 
     @property
     def mean(self) -> float:
-        return self.sum / self.count if self.count else 0.0
+        self._fold()
+        return self._sum / self._count if self._count else 0.0
+
+    def merge(self, other: "HistogramMetric") -> None:
+        """Fold *other*'s tallies into this histogram (for absorb)."""
+
+        other._fold()
+        self._fold()
+        self._count += other._count
+        self._sum += other._sum
+        self._min = min(self._min, other._min)
+        self._max = max(self._max, other._max)
+        for key, n in other.buckets.items():
+            self.buckets[key] = self.buckets.get(key, 0) + n
 
     def snapshot(self) -> dict:
+        self._fold()
         return {
-            "count": self.count,
-            "sum": self.sum,
+            "count": self._count,
+            "sum": self._sum,
             "mean": self.mean,
-            "min": self.min if self.count else None,
-            "max": self.max if self.count else None,
+            "min": self._min if self._count else None,
+            "max": self._max if self._count else None,
             "buckets": {
                 ("underflow" if k is None else f"<2^{k}"): n
                 for k, n in sorted(
@@ -240,13 +303,7 @@ class MetricsRegistry:
             elif isinstance(metric, GaugeMetric):
                 self.gauge(name, **labels_dict).set(metric.value)
             elif isinstance(metric, HistogramMetric):
-                mine = self.histogram(name, **labels_dict)
-                mine.count += metric.count
-                mine.sum += metric.sum
-                mine.min = min(mine.min, metric.min)
-                mine.max = max(mine.max, metric.max)
-                for key, n in metric.buckets.items():
-                    mine.buckets[key] = mine.buckets.get(key, 0) + n
+                self.histogram(name, **labels_dict).merge(metric)
 
 
 class _Timer:

@@ -21,10 +21,10 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from ..core import api as _api
+from ..core.config import RuntimeConfig, resolve_config
 from ..core.dependencies import DependencyTracker, TrackerConfig
 from ..core.graph import TaskGraph
 from ..core.invocation import instantiate
-from ..core.scheduler import SmpssScheduler
 from ..core.task import TaskInstance, TaskState, reset_task_ids
 from .cost import CostModel
 from .engine import SimResult, VirtualMachine
@@ -40,41 +40,46 @@ class SimulatedRuntime:
         self,
         machine: MachineConfig = ALTIX_32,
         cost_model: Optional[CostModel] = None,
-        scheduler_factory: Callable = SmpssScheduler,
-        enable_renaming: bool = True,
-        rename_inout: bool = True,
         execute_bodies: bool = False,
-        constants: Optional[dict] = None,
         tracer=None,
-        trace: bool = False,
+        config: Optional[RuntimeConfig] = None,
+        **knobs,
     ):
+        # *machine*, *cost_model*, *execute_bodies* and *tracer* are the
+        # simulator-specific arguments; every shared knob (scheduler
+        # factory, renaming switches, trace, constants, ...) goes
+        # through the same validated path as SmpssRuntime.
+        self.config = resolve_config(config, knobs, runtime="SimulatedRuntime")
         self.machine = machine
         self.cost = cost_model or CostModel(machine)
         reset_task_ids()
-        self.graph = TaskGraph(keep_finished=False)
+        self.graph = TaskGraph(keep_finished=self.config.keep_graph)
         self.tracker = DependencyTracker(
             self.graph,
             config=TrackerConfig(
-                enable_renaming=enable_renaming, rename_inout=rename_inout
+                enable_renaming=self.config.enable_renaming,
+                rename_inout=self.config.rename_inout,
             ),
         )
-        if trace and tracer is None:
+        if self.config.trace and tracer is None:
             from ..core.tracing import ThreadLocalTracer
 
             # Same per-thread-buffer tracer as the threaded backend;
             # the virtual clock is injected unchanged below (emission
             # is single-threaded here, so one buffer, stable order).
-            tracer = ThreadLocalTracer()
+            tracer = ThreadLocalTracer(capacity=self.config.trace_buffer_size)
         self.tracer = tracer
         from ..obs.metrics import MetricsRegistry
 
         self.metrics = MetricsRegistry()
-        self.scheduler = scheduler_factory(machine.cores, tracer=tracer)
+        self.scheduler = self.config.scheduler_factory(
+            machine.cores, tracer=tracer
+        )
         self.vm = VirtualMachine(machine, self.graph, self.scheduler, self.cost, tracer)
         if tracer is not None:
             self.vm.wire_tracer(tracer)
         self.execute_bodies = execute_bodies
-        self.constants = constants or {}
+        self.constants = self.config.constants
         self.main_clock = 0.0
         self.tasks_submitted = 0
         self._entered = False
@@ -173,8 +178,10 @@ class SimulatedRuntime:
 
     def __exit__(self, exc_type, exc, tb) -> None:
         if self._entered:
-            _api.pop_runtime(self)
             self._entered = False
+            # Defensive pop: never leaves a stale stack entry (or a
+            # stale owner) behind, even after a mid-``with`` exception.
+            _api.discard_runtime(self)
             from ..obs.metrics import default_metrics
 
             self._sync_metrics()
@@ -223,7 +230,7 @@ def simulate_program(
     *args,
     machine: MachineConfig = ALTIX_32,
     cost_model: Optional[CostModel] = None,
-    scheduler_factory: Callable = SmpssScheduler,
+    scheduler_factory: Optional[Callable] = None,
     enable_renaming: bool = True,
     execute_bodies: bool = False,
     **kwargs,
@@ -234,12 +241,14 @@ def simulate_program(
     one before its timing is read).
     """
 
+    knobs = {"enable_renaming": enable_renaming}
+    if scheduler_factory is not None:
+        knobs["scheduler_factory"] = scheduler_factory
     runtime = SimulatedRuntime(
         machine=machine,
         cost_model=cost_model,
-        scheduler_factory=scheduler_factory,
-        enable_renaming=enable_renaming,
         execute_bodies=execute_bodies,
+        **knobs,
     )
     with runtime:
         main(*args, **kwargs)

@@ -110,7 +110,7 @@ class TestRenamedBufferAccounting:
         assert (data == 30.0).all()
 
     def test_memory_limit_none_is_default(self):
-        from repro.core.runtime import RuntimeConfig
+        from repro.core.config import RuntimeConfig
 
         assert RuntimeConfig().memory_limit_bytes is None
 

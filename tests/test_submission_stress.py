@@ -1,0 +1,137 @@
+"""Stress the split-lock submit/complete hot path.
+
+PR 4 replaced the runtime's single condition variable with a tracker
+lock (dependency analysis, readiness capture) and a scheduler lock
+(ready lists, wakeups).  The races these iterations hunt:
+
+* submit-vs-complete double push — a task analysed as blocked whose
+  last predecessor completes concurrently must be pushed ready exactly
+  once, never twice and never zero times;
+* lost wakeups — the main thread parking at a barrier (or the
+  max-pending gate) while the last completion's notify slips by;
+* readiness miscount — ``num_pending_deps`` reads outside the tracker
+  lock observing a torn update.
+
+Each scenario runs 100 iterations with the access sanitizer on, so a
+double-executed task (two concurrent writers of one buffer) is caught
+even when the final values happen to come out right.
+"""
+
+import numpy as np
+import pytest
+
+from repro import SmpssRuntime, css_task
+
+ITERATIONS = 100
+
+
+@css_task("input(src) output(dst)")
+def _produce(src, dst):
+    dst[...] = src + 1.0
+
+
+@css_task("input(src) inout(acc)")
+def _consume(src, acc):
+    acc += src
+
+
+@css_task("inout(a)")
+def _bump(a):
+    a += 1.0
+
+
+class TestSplitLockStress:
+    def test_fanout_submit_vs_complete(self):
+        """Independent tasks completing while later ones are analysed.
+
+        ``enable_renaming=False`` keeps every round-robin output datum
+        on one version chain, so submission keeps taking the tracker
+        lock while workers complete earlier tasks against the same
+        chains — the widest submit/complete overlap the engine sees.
+        """
+
+        for _ in range(ITERATIONS):
+            src = np.ones(16)
+            dsts = [np.zeros(16) for _ in range(8)]
+            with SmpssRuntime(
+                num_workers=3, enable_renaming=False, sanitize=True
+            ) as rt:
+                for i in range(48):
+                    _produce(src, dsts[i % 8])
+                rt.barrier()
+            for dst in dsts:
+                assert (dst == 2.0).all()
+
+    def test_two_level_ready_race(self):
+        """Consumers become ready exactly when their producer finishes.
+
+        Submitting consumer(i) races worker completion of producer(i):
+        the readiness decision (push now vs push on complete) must be
+        atomic with the analysis, or a task is pushed twice (sanitizer
+        sees two writers) or never (barrier hangs).
+        """
+
+        for _ in range(ITERATIONS):
+            src = np.zeros(8)
+            mids = [np.zeros(8) for _ in range(6)]
+            acc = np.zeros(8)
+            with SmpssRuntime(num_workers=3, sanitize=True) as rt:
+                for i in range(24):
+                    mid = mids[i % 6]
+                    _produce(src, mid)
+                    _consume(mid, acc)
+                rt.barrier()
+            assert (acc == 24.0).all()
+
+    def test_serial_chain_with_interleaved_barriers(self):
+        """Barrier wakeups under a pure serial chain (worst wakeup rate).
+
+        Every completion readies exactly one successor and the main
+        thread keeps re-parking; a single lost notify deadlocks the
+        barrier (the bug class the dedicated main-thread CV guards).
+        """
+
+        for _ in range(ITERATIONS):
+            a = np.zeros(4)
+            with SmpssRuntime(num_workers=2, sanitize=True) as rt:
+                for _ in range(10):
+                    _bump(a)
+                rt.barrier()
+                for _ in range(10):
+                    _bump(a)
+                rt.barrier()
+            assert (a == 20.0).all()
+
+    def test_max_pending_gate_under_load(self):
+        """The graph-window gate: main helps instead of sleeping forever.
+
+        With ``max_pending_tasks`` far below the submission count, the
+        main thread repeatedly blocks on the window and must be woken
+        (or help) as workers drain it; a missed wakeup here stalls
+        submission, not the barrier.
+        """
+
+        for _ in range(ITERATIONS // 4):
+            a = np.zeros(4)
+            with SmpssRuntime(
+                num_workers=2, max_pending_tasks=4, sanitize=True
+            ) as rt:
+                for _ in range(40):
+                    _bump(a)
+                rt.barrier()
+            assert (a == 40.0).all()
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_worker_count_sweep(self, workers):
+        """The same mixed workload is correct at every worker count."""
+
+        for _ in range(ITERATIONS // 10):
+            src = np.ones(8)
+            dst = np.zeros(8)
+            acc = np.zeros(8)
+            with SmpssRuntime(num_workers=workers, sanitize=True) as rt:
+                for _ in range(12):
+                    _produce(src, dst)
+                    _consume(dst, acc)
+                rt.barrier()
+            assert (acc == 24.0).all()
