@@ -1,0 +1,55 @@
+"""Backend scaling: threads vs processes on pure-Python kernels.
+
+Not a figure from the paper — the figure the paper's design *implies*
+for a GIL-bound language: with task bodies that never release the GIL,
+worker threads cannot exceed 1x, while the repro.mp process backend
+tracks the core count.  Bitwise backend parity is asserted inside the
+experiment on every run.
+
+The scaling assertions only run on hosts with enough cores to express
+them (4 process workers + the master need >= 5); on smaller hosts the
+run still regenerates the figure and checks parity.
+"""
+
+import os
+
+from conftest import is_quick
+
+from repro.bench import experiments as E
+
+
+def _params():
+    if is_quick():
+        return dict(n=64, block=32, workers=(1, 2, 4))
+    return dict(n=192, block=48, workers=(1, 2, 4))
+
+
+def test_backend_scaling(benchmark, figure_printer):
+    fig = benchmark.pedantic(
+        lambda: E.backend_scaling(**_params()),
+        rounds=1, iterations=1,
+    )
+    figure_printer(fig)
+    if is_quick():
+        return
+
+    workers = fig.x
+    threads = fig.get("matmul threads").values
+    processes = fig.get("matmul processes").values
+    chol_proc = fig.get("cholesky processes").values
+
+    if (os.cpu_count() or 1) < 5:
+        # Single-/few-core host: the ISSUE's >=1.8x criterion is not
+        # physically expressible; parity was still asserted inside the
+        # experiment, and the figure records cpu_count in extras.
+        return
+
+    i4 = workers.index(4)
+    # Acceptance criterion: >=1.8x at 4 process workers over threads.
+    assert processes[i4] >= 1.8 * threads[i4], (
+        f"matmul: processes {processes[i4]:.2f}x vs threads "
+        f"{threads[i4]:.2f}x at 4 workers"
+    )
+    assert chol_proc[i4] >= 1.8 * fig.get("cholesky threads").values[i4]
+    # GIL cap: threaded pure-Python work cannot meaningfully scale.
+    assert max(threads) < 1.5

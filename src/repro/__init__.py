@@ -47,6 +47,7 @@ from .core import (
     record_program,
     wait_on,
 )
+from .mp import SharedArena, arena_array
 
 __version__ = "1.0.0"
 
@@ -63,11 +64,13 @@ __all__ = [
     "Representant",
     "RepresentantTable",
     "RuntimeConfig",
+    "SharedArena",
     "SmpssRuntime",
     "SmpssScheduler",
     "TaskExecutionError",
     "TaskGraph",
     "Tracer",
+    "arena_array",
     "barrier",
     "css_task",
     "current_runtime",

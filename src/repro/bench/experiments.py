@@ -44,6 +44,7 @@ __all__ = [
     "fig14_multisort",
     "fig15_nqueens",
     "fig16_nqueens_scalability",
+    "backend_scaling",
     "micro_submission_throughput",
     "text_task_counts",
     "THREAD_SWEEP",
@@ -550,5 +551,246 @@ def micro_submission_throughput(
         "raw: "
         + ", ".join(f"{v} {rates[v]:,.0f} tasks/s" for v in variants)
         + f"; host probe {mops:.1f} Mops/s"
+    )
+    return fig
+
+
+# ---------------------------------------------------------------------------
+# backend_scaling — threads vs processes on pure-Python kernels
+# ---------------------------------------------------------------------------
+#
+# The figure the paper cannot show but its design implies: with task
+# bodies that never release the GIL, the threaded backend is capped at
+# 1x whatever the worker count, while the process backend (repro.mp)
+# scales with cores.  Kernels below are deliberate pure-Python loops
+# (tolist in, scalar arithmetic, assign back); every accumulation chain
+# is an inout dependency chain, so execution order per block is fixed by
+# the graph and results are bitwise identical across backends and
+# worker counts — asserted on every run.
+
+@css_task("input(a, b) inout(c)")
+def _py_gemm_t(a, b, c):
+    """c += a @ b, pure-Python inner loops (holds the GIL throughout)."""
+
+    al, bl, cl = a.tolist(), b.tolist(), c.tolist()
+    inner = len(bl)
+    cols = len(bl[0])
+    for ai, ci in zip(al, cl):
+        for k in range(inner):
+            aik = ai[k]
+            if aik != 0.0:
+                bk = bl[k]
+                for j in range(cols):
+                    ci[j] += aik * bk[j]
+    c[...] = cl
+
+
+@css_task("input(a, b) inout(c)")
+def _py_gemm_nt_t(a, b, c):
+    """c -= a @ b.T, pure-Python (the Cholesky trailing update)."""
+
+    al, bl, cl = a.tolist(), b.tolist(), c.tolist()
+    inner = len(al[0])
+    for ai, ci in zip(al, cl):
+        for j, bj in enumerate(bl):
+            s = 0.0
+            for k in range(inner):
+                s += ai[k] * bj[k]
+            ci[j] -= s
+    c[...] = cl
+
+
+@css_task("inout(a)")
+def _py_potrf_t(a):
+    """Unblocked lower Cholesky of one tile, pure-Python."""
+
+    al = a.tolist()
+    n = len(al)
+    for j in range(n):
+        s = al[j][j]
+        row_j = al[j]
+        for k in range(j):
+            s -= row_j[k] * row_j[k]
+        d = s ** 0.5
+        row_j[j] = d
+        for i in range(j + 1, n):
+            row_i = al[i]
+            s = row_i[j]
+            for k in range(j):
+                s -= row_i[k] * row_j[k]
+            row_i[j] = s / d
+    for i in range(n):
+        for j in range(i + 1, n):
+            al[i][j] = 0.0
+    a[...] = al
+
+
+@css_task("input(l) inout(b)")
+def _py_trsm_t(l, b):
+    """b := b @ inv(l).T for a lower-triangular tile l, pure-Python."""
+
+    ll, bl = l.tolist(), b.tolist()
+    n = len(ll)
+    for row in bl:
+        for j in range(n):
+            s = row[j]
+            lj = ll[j]
+            for k in range(j):
+                s -= row[k] * lj[k]
+            row[j] = s / lj[j]
+    b[...] = bl
+
+
+@css_task("input(a) inout(c)")
+def _py_syrk_t(a, c):
+    """c -= a @ a.T (full tile, keeps the kernel simple), pure-Python."""
+
+    al, cl = a.tolist(), c.tolist()
+    inner = len(al[0])
+    for ai, ci in zip(al, cl):
+        for j, aj in enumerate(al):
+            s = 0.0
+            for k in range(inner):
+                s += ai[k] * aj[k]
+            ci[j] -= s
+    c[...] = cl
+
+
+def _block_views(matrix, block: int):
+    """Stable tile views, created once — the dependency tracker keys
+    data by object identity, so every submission must reuse these."""
+
+    nb = matrix.shape[0] // block
+    return [
+        [
+            matrix[i * block:(i + 1) * block, j * block:(j + 1) * block]
+            for j in range(nb)
+        ]
+        for i in range(nb)
+    ]
+
+
+def _submit_blocked_matmul(av, bv, cv) -> None:
+    nb = len(av)
+    for i in range(nb):
+        for j in range(nb):
+            for k in range(nb):
+                _py_gemm_t(av[i][k], bv[k][j], cv[i][j])
+
+
+def _submit_blocked_cholesky(wv) -> None:
+    nb = len(wv)
+    for k in range(nb):
+        _py_potrf_t(wv[k][k])
+        for i in range(k + 1, nb):
+            _py_trsm_t(wv[k][k], wv[i][k])
+        for i in range(k + 1, nb):
+            _py_syrk_t(wv[i][k], wv[i][i])
+            for j in range(k + 1, i):
+                _py_gemm_nt_t(wv[i][k], wv[j][k], wv[i][j])
+
+
+def _timed_run(submit, backend: str, workers: int) -> float:
+    """One timed pass: runtime startup (thread spawn / process fork)
+    excluded, submission + execution + barrier included."""
+
+    with SmpssRuntime(
+        num_workers=workers, backend=backend, rename_inout=False
+    ) as rt:
+        t0 = time.perf_counter()
+        submit()
+        rt.barrier()
+        return time.perf_counter() - t0
+
+
+def backend_scaling(
+    n: int = 192,
+    block: int = 48,
+    workers: tuple = (1, 2, 4),
+    seed: int = 0,
+) -> FigureResult:
+    """Threads vs processes at 1/2/4 workers on pure-Python kernels.
+
+    Series are speedups over the 1-worker threaded run of the same app
+    (higher is better).  On a single-core host both backends flatline
+    near 1x (processes slightly below: pipe round-trips cost more than
+    a thread handoff) — the committed baseline records whatever the
+    recording host could honestly measure, and ``extras['cpu_count']``
+    says what that was.
+    """
+
+    import os as _os
+
+    from ..mp.arena import SharedArena
+
+    if n % block != 0:
+        raise ValueError("n must be a multiple of block")
+    rng = np.random.default_rng(seed)
+    times: dict = {}
+    with SharedArena() as arena:
+        # matmul operands; cholesky gets a well-conditioned SPD matrix.
+        a = arena.array(rng.standard_normal((n, n)))
+        b = arena.array(rng.standard_normal((n, n)))
+        c = arena.zeros((n, n))
+        spd = rng.standard_normal((n, n))
+        spd = spd @ spd.T + n * np.eye(n)
+        work = arena.zeros((n, n))
+        av, bv, cv = _block_views(a, block), _block_views(b, block), _block_views(c, block)
+        wv = _block_views(work, block)
+
+        apps = {
+            "matmul": (
+                lambda: _submit_blocked_matmul(av, bv, cv),
+                lambda: c.__setitem__(..., 0.0),
+                c,
+            ),
+            "cholesky": (
+                lambda: _submit_blocked_cholesky(wv),
+                lambda: work.__setitem__(..., spd),
+                work,
+            ),
+        }
+        for app, (submit, reset, out) in apps.items():
+            snapshots: dict = {}
+            for w in workers:
+                for backend in ("threads", "processes"):
+                    reset()
+                    times[(app, backend, w)] = _timed_run(submit, backend, w)
+                    snapshots[(backend, w)] = out.copy()
+                if not np.array_equal(
+                    snapshots[("threads", w)], snapshots[("processes", w)]
+                ):
+                    raise AssertionError(
+                        f"{app}: backends disagree bitwise at {w} workers"
+                    )
+            if app == "cholesky":
+                factor = np.tril(snapshots[("threads", workers[0])])
+                if not np.allclose(factor @ factor.T, spd, atol=1e-8 * n):
+                    raise AssertionError("cholesky kernels produced a wrong factor")
+
+    fig = FigureResult(
+        "Backend scaling",
+        f"Pure-Python kernels, threads vs processes (n={n}, block={block})",
+        "workers",
+        "speedup vs 1-worker threads (higher is better)",
+        list(workers),
+    )
+    for app in ("matmul", "cholesky"):
+        base = times[(app, "threads", workers[0])]
+        for backend in ("threads", "processes"):
+            fig.add(
+                f"{app} {backend}",
+                [base / times[(app, backend, w)] for w in workers],
+            )
+    fig.extras["seconds"] = {
+        f"{app}/{backend}/{w}": times[(app, backend, w)]
+        for (app, backend, w) in times
+    }
+    fig.extras["cpu_count"] = _os.cpu_count()
+    fig.extras["n"] = n
+    fig.extras["block"] = block
+    fig.notes.append(
+        f"host cpu_count={_os.cpu_count()}; bitwise backend parity asserted "
+        f"per worker count; startup (fork/spawn) excluded from timings"
     )
     return fig

@@ -34,6 +34,7 @@ FIGURES = {
     "fig15": "fig15_nqueens",
     "fig16": "fig16_nqueens_scalability",
     "micro": "micro_submission_throughput",
+    "backend": "backend_scaling",
 }
 
 #: Reduced-scale parameters for ``--quick`` (laptop/CI smoke runs).
@@ -46,6 +47,7 @@ QUICK_PARAMS = {
     "fig15": dict(n=9, threads=(1, 2, 4, 8)),
     "fig16": dict(n=9, threads=(1, 2, 4, 8)),
     "micro": dict(tasks=1500, inner_repeats=2),
+    "backend": dict(n=64, block=32, workers=(1, 2, 4)),
 }
 
 

@@ -70,7 +70,16 @@ class RuntimeConfig:
     #: Access sanitizer (repro.check dynamic layer): execute task bodies
     #: against read-only guards on non-written numpy parameters and
     #: write-track declared outputs.  Debugging mode, off by default.
+    #: Incompatible with ``backend="processes"`` (the guards wrap views
+    #: of master-side storage, which never reach a worker process).
     sanitize: bool = False
+    #: Execution backend: ``"threads"`` runs task bodies on worker
+    #: threads in this process (the classic SMPSs layout; parallel for
+    #: GIL-releasing kernels); ``"processes"`` runs them in long-lived
+    #: forked worker processes fed over pipes (:mod:`repro.mp` — true
+    #: parallelism for pure-Python bodies; pass shared data as
+    #: arena-backed arrays, see :func:`repro.arena_array`).
+    backend: str = "threads"
     #: Ready-list structure; swap for CentralQueueScheduler in ablations.
     scheduler_factory: Callable = SmpssScheduler
     #: Extra names usable in dimension/region expressions (the paper's
@@ -150,4 +159,17 @@ def resolve_config(
         resolved.constants = dict(config.constants)
     for name, value in overrides.items():
         setattr(resolved, name, value)
+    if resolved.backend not in ("threads", "processes"):
+        raise TypeError(
+            f"{runtime}: unknown backend {resolved.backend!r}; "
+            f"valid backends: 'threads', 'processes'"
+        )
+    if resolved.backend == "processes" and resolved.sanitize:
+        raise TypeError(
+            f"{runtime}: sanitize=True is incompatible with "
+            f"backend='processes' — the sanitizer guards thread-backend "
+            f"views only (its read-only wrappers never reach a worker "
+            f"process); run the sanitized debug pass with "
+            f"backend='threads'"
+        )
     return resolved

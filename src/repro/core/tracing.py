@@ -128,6 +128,17 @@ class Tracer:
     def violation(self, task, thread: int, rule: str, param: str) -> None:
         self._emit(EventKind.VIOLATION, task, thread, extra=(rule, param))
 
+    def ingest(self, events: Iterable[TraceEvent]) -> None:
+        """Merge externally recorded events into this tracer's stream.
+
+        The process backend uses this to land worker-side ring buffers
+        (timestamped with the same monotonic clock) in the master's
+        timeline, so every consumer — reports, Perfetto export, trace
+        diffing — sees worker processes as ordinary threads.
+        """
+
+        self.events.extend(events)
+
     # -- post-mortem queries ----------------------------------------------
     def of_kind(self, kind: str) -> list[TraceEvent]:
         return [e for e in self.events if e.kind == kind]
@@ -324,6 +335,24 @@ class ThreadLocalTracer(Tracer):
                 extra=extra,
             )
         )
+
+    def ingest(self, events: Iterable[TraceEvent]) -> None:
+        """Append foreign events to the *calling thread's* ring.
+
+        Same bounded-buffer semantics as :meth:`_emit` (oldest dropped,
+        drops counted); the timestamp-sorted merge in :attr:`events`
+        interleaves them with locally emitted ones.
+        """
+
+        try:
+            ring = self._tls.ring
+        except AttributeError:
+            ring = self._register()
+        buf = ring.events
+        for event in events:
+            if len(buf) == buf.maxlen:
+                ring.dropped += 1
+            buf.append(event)
 
     @property
     def events(self) -> list[TraceEvent]:  # type: ignore[override]

@@ -43,12 +43,14 @@ TOP_LEVEL_ALL = [
     "Representant",
     "RepresentantTable",
     "RuntimeConfig",
+    "SharedArena",
     "SmpssRuntime",
     "SmpssScheduler",
     "TaskExecutionError",
     "TaskGraph",
     "Tracer",
     "__version__",
+    "arena_array",
     "barrier",
     "css_task",
     "current_runtime",
