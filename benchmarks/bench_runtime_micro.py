@@ -186,3 +186,57 @@ def test_simulator_event_throughput(benchmark):
 
     res = benchmark(run)
     assert res.tasks_executed == len(template.nodes)
+
+
+def test_live_gate_detached_overhead_under_five_percent():
+    """A dark dispatch gate must be (nearly) free: <5% on push/pop.
+
+    ``live=False`` leaves ``scheduler.gate`` as ``None``, so the gated
+    dispatch path costs one attribute load and a ``None`` check per
+    pop.  Even the next tier up — a live session *attached* but wide
+    open (no pause, no breakpoints) — must stay within 5% of the
+    ungated loop, or attaching a dashboard would perturb the very
+    schedule being inspected.  ``DispatchGate.install`` guarantees
+    that: a disengaged gate vacates the scheduler's ``gate`` slot
+    entirely, so both variants here run the identical ``None``-checked
+    path.  Same paired min-of-N idiom as the NullTracer pin, with the
+    two variants *interleaved* per repeat so clock-frequency drift
+    cancels instead of biasing one side.
+    """
+
+    from repro.core.scheduler import DispatchGate
+
+    defn = TaskDefinition(func=lambda: None, params=(), name="t")
+
+    def cycle(gate):
+        reset_task_ids()
+        scheduler = SmpssScheduler(num_threads=8)
+        if gate is not None:
+            gate.install(scheduler)
+        tasks = [
+            TaskInstance(definition=defn, accesses=[], arguments={})
+            for _ in range(512)
+        ]
+        for rounds in range(50):
+            for i, t in enumerate(tasks):
+                scheduler.push_unlocked(t, thread=i % 8)
+            for i in range(512):
+                scheduler.pop(i % 8)
+
+    def timed(gate) -> float:
+        start = time.perf_counter()
+        cycle(gate)
+        return time.perf_counter() - start
+
+    cycle(None)  # warm up allocators and bytecode caches
+    cycle(DispatchGate())
+    detached = float("inf")
+    idle_gate = float("inf")
+    for _ in range(9):
+        detached = min(detached, timed(None))
+        idle_gate = min(idle_gate, timed(DispatchGate()))
+    overhead = idle_gate / detached - 1.0
+    assert overhead < 0.05, (
+        f"idle DispatchGate path {overhead:.1%} slower than no gate "
+        f"({idle_gate:.4f}s vs {detached:.4f}s)"
+    )

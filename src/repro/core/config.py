@@ -80,6 +80,23 @@ class RuntimeConfig:
     #: parallelism for pure-Python bodies; pass shared data as
     #: arena-backed arrays, see :func:`repro.arena_array`).
     backend: str = "threads"
+    #: Live inspection & control (:mod:`repro.live`): serve graph-delta
+    #: events and accept pause/step/breakpoint commands while the run is
+    #: in flight.  Implies ``trace=True`` (the event plane is a tap on
+    #: the tracer).  Off by default — the dispatch gate then stays
+    #: entirely out of the scheduler's hot path.
+    live: bool = False
+    #: Where the live session listens: a unix-socket path, or
+    #: ``"tcp:HOST:PORT"`` (port 0 picks an ephemeral port; the bound
+    #: address is on ``runtime.live.address``).  ``None`` with
+    #: ``live=True`` serves on a unix socket in a temp directory.
+    #: Setting an address implies ``live=True``.
+    live_address: Optional[str] = None
+    #: Start with the dispatch gate paused, so a client can attach and
+    #: watch the graph grow before anything executes.
+    live_start_paused: bool = False
+    #: Seconds between periodic metrics snapshots on the event stream.
+    live_snapshot_interval: float = 0.25
     #: Ready-list structure; swap for CentralQueueScheduler in ablations.
     scheduler_factory: Callable = SmpssScheduler
     #: Extra names usable in dimension/region expressions (the paper's
@@ -164,6 +181,12 @@ def resolve_config(
             f"{runtime}: unknown backend {resolved.backend!r}; "
             f"valid backends: 'threads', 'processes'"
         )
+    if resolved.live_address is not None or resolved.live_start_paused:
+        resolved.live = True
+    if resolved.live and not resolved.trace:
+        # The event plane is a listener on the tracer; without events
+        # there is nothing to stream.
+        resolved.trace = True
     if resolved.backend == "processes" and resolved.sanitize:
         raise TypeError(
             f"{runtime}: sanitize=True is incompatible with "

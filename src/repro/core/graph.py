@@ -53,8 +53,12 @@ class TaskGraph:
     SMPSs runtime does with its graph-size blocking condition.
     """
 
-    def __init__(self, keep_finished: bool = True):
+    def __init__(self, keep_finished: bool = True, tracer=None):
         self.keep_finished = keep_finished
+        #: Optional tracer whose :meth:`~repro.core.tracing.Tracer.edge`
+        #: is called once per *new* edge — how the live event plane sees
+        #: the DAG grow while the main thread is still analysing.
+        self.tracer = tracer if tracer else None
         self._tasks: dict[int, TaskInstance] = {}
         #: (pred_id, succ_id) -> kind; only populated when keep_finished
         self._edges: dict[tuple[int, int], str] = {}
@@ -100,6 +104,8 @@ class TaskGraph:
         stats.edges_by_kind[kind] += 1
         if self.keep_finished:
             self._edges[(pred.task_id, succ.task_id)] = kind
+        if self.tracer is not None:
+            self.tracer.edge(pred, succ, kind)
         return True
 
     def note_rename(self) -> None:

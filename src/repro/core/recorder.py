@@ -39,7 +39,13 @@ from .invocation import instantiate, resolve_call_values
 from .task import TaskInstance, reset_task_ids
 from .tracing import NullTracer
 
-__all__ = ["RecordedProgram", "RecordingRuntime", "record_program"]
+__all__ = [
+    "RecordedProgram",
+    "RecordingRuntime",
+    "record_program",
+    "LoadedRecording",
+    "load_recording",
+]
 
 
 @dataclass
@@ -76,6 +82,85 @@ class RecordedProgram:
         return graph_to_dot(
             self.graph, weight=weight, highlight_critical=highlight_critical
         )
+
+    # -- persistence (time-travel replay input) -------------------------
+    def to_json_dict(self) -> dict:
+        """Topology + submission stream as plain data.
+
+        Task bodies and argument values are *not* serialised — a saved
+        recording replays scheduling (``python -m repro.live replay``),
+        it does not re-execute computation.  Requires ``keep_graph``
+        (the default for recordings): a retired graph has no edges left
+        to save.
+        """
+
+        tasks = [
+            [task.task_id, task.name, int(task.high_priority)]
+            for task in self.graph
+        ]
+        stream: list[list] = []
+        for event in self.events:
+            if event[0] == "barrier":
+                stream.append(["barrier"])
+            else:  # ("task", t) | ("wait", t)
+                stream.append([event[0], event[1].task_id])
+        return {
+            "format": "repro.recording",
+            "version": 1,
+            "tasks": tasks,
+            "edges": [list(edge) for edge in self.graph.edges()],
+            "stream": stream,
+        }
+
+    def save(self, path: str) -> None:
+        """Write :meth:`to_json_dict` as JSON to *path*."""
+
+        import json
+
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_json_dict(), handle)
+
+
+@dataclass
+class LoadedRecording:
+    """A recording read back from disk (topology only; see
+    :meth:`RecordedProgram.to_json_dict`)."""
+
+    #: ``[task_id, name, high_priority]`` in submission order.
+    tasks: list
+    #: ``[pred_id, succ_id, kind]`` triples.
+    edges: list
+    #: ``["task", id] | ["barrier"] | ["wait", id]`` in program order.
+    stream: list
+
+    @property
+    def task_count(self) -> int:
+        return len(self.tasks)
+
+
+def load_recording(source) -> LoadedRecording:
+    """Load a saved recording from a path, a parsed dict, or a
+    :class:`RecordedProgram` (uniform input for the replayer)."""
+
+    import json
+
+    if isinstance(source, RecordedProgram):
+        doc = source.to_json_dict()
+    elif isinstance(source, dict):
+        doc = source
+    else:
+        with open(source, "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+    if doc.get("format") != "repro.recording":
+        raise ValueError(
+            "not a repro recording (missing format tag); save one with "
+            "RecordedProgram.save(path)"
+        )
+    return LoadedRecording(
+        tasks=[list(t) for t in doc["tasks"]],
+        edges=[list(e) for e in doc["edges"]],
+        stream=[list(e) for e in doc["stream"]],
+    )
 
 
 class RecordingRuntime:

@@ -27,6 +27,7 @@ locality motivation (section VII.D).
 
 from __future__ import annotations
 
+import threading
 from collections import Counter, deque
 from dataclasses import dataclass, field
 from typing import Optional
@@ -38,6 +39,7 @@ __all__ = [
     "SchedulerStats",
     "CentralQueueScheduler",
     "HotStealScheduler",
+    "DispatchGate",
 ]
 
 
@@ -81,6 +83,206 @@ class SchedulerStats:
         }
 
 
+class DispatchGate:
+    """Debugger control over the worker dispatch point (``repro.live``).
+
+    The gate sits between "a ready task exists" and "a thread runs it":
+    :meth:`SmpssScheduler.pop` consults it *under the scheduler lock*
+    before committing a selection.  While paused, ``pop`` returns
+    ``None`` and threads fall into their normal empty-queue parking on
+    the runtime's condition variables — paused workers block, they do
+    not spin.  ``step(n)`` grants *n* dispatch tickets; breakpoints
+    (by task-type name or task id) hold a matching task at the boundary
+    *before* it starts and pause the whole runtime.
+
+    Locking contract: :meth:`admit` and :meth:`should_hold` are called
+    by the scheduler with the runtime's scheduler lock already held and
+    therefore touch plain fields only.  The control methods
+    (:meth:`pause` / :meth:`resume` / :meth:`step` / breakpoint edits)
+    are for *other* threads — the live control server, a debugger REPL —
+    and take that same lock themselves, waking parked threads through
+    the condition variables the runtime registered via :meth:`bind`.
+    """
+
+    def __init__(self):
+        self.paused = False
+        #: "Any control is active" — ``paused or breakpoints exist``.
+        #: The gate only *occupies a scheduler's ``gate`` slot while
+        #: engaged* (see :meth:`install`): a live session whose gate is
+        #: wide open leaves ``scheduler.gate`` as ``None``, so dispatch
+        #: pays exactly the ``live=False`` cost — one attribute load
+        #: and a ``None`` check.  ``should_hold`` setting ``paused``
+        #: never changes this (a hold requires breakpoints, so the gate
+        #: is already engaged and installed).
+        self.engaged = False
+        self._schedulers: list = []
+        #: Dispatch tickets granted by :meth:`step` (consumed by
+        #: :meth:`admit` while paused).
+        self.step_budget = 0
+        self.break_names: set[str] = set()
+        self.break_ids: set[int] = set()
+        #: Task ids already held once: the next dispatch of that very
+        #: instance passes the breakpoint (step/resume run *through* it
+        #: rather than re-holding forever).
+        self._skip_ids: set[int] = set()
+        #: Breakpoint holds so far (monotonic; a "hits" counter).
+        self.holds = 0
+        #: Optional ``fn(task)`` invoked on a breakpoint hold, *under
+        #: the scheduler lock* — must be fast and lock-free (the live
+        #: session uses it to enqueue a "paused at breakpoint" delta).
+        self.on_hold = None
+        self._lock = threading.Lock()
+        self._cvs: tuple = ()
+
+    def bind(self, lock, *cvs) -> None:
+        """Adopt the runtime's scheduler lock and the condition
+        variables parked threads wait on (notified on resume/step)."""
+
+        self._lock = lock
+        self._cvs = tuple(cv for cv in cvs if cv is not None)
+
+    def install(self, scheduler) -> None:
+        """Manage *scheduler*'s ``gate`` slot from now on.
+
+        The slot holds this gate only while :attr:`engaged`; control
+        methods flip it under the bound lock, so workers mid-``pop``
+        never observe a half-configured gate.  A gate assigned to
+        ``scheduler.gate`` directly (without ``install``) also works —
+        it is simply consulted on every pop, engaged or not.
+        """
+
+        self._schedulers.append(scheduler)
+        scheduler.gate = self if self.engaged else None
+
+    def _sync_installed(self) -> None:
+        gate = self if self.engaged else None
+        for scheduler in self._schedulers:
+            scheduler.gate = gate
+
+    # -- scheduler side (lock already held) -----------------------------
+    def admit(self) -> bool:
+        """May the calling thread dispatch one task right now?"""
+
+        if not self.paused:
+            return True
+        if self.step_budget > 0:
+            self.step_budget -= 1
+            return True
+        return False
+
+    def should_hold(self, task) -> bool:
+        """Breakpoint check for a just-selected *task*.
+
+        Returns ``True`` when the task must be held at the boundary (the
+        caller requeues it at the head of the ready lists); as a side
+        effect the runtime pauses.  A task that was already held once is
+        let through (and forgotten), so a subsequent ``step``/``resume``
+        executes it instead of re-holding.
+        """
+
+        if not self.break_names and not self.break_ids:
+            return False
+        task_id = task.task_id
+        if task_id in self._skip_ids:
+            self._skip_ids.discard(task_id)
+            return False
+        if task.name in self.break_names or task_id in self.break_ids:
+            self._skip_ids.add(task_id)
+            self.paused = True
+            self.holds += 1
+            on_hold = self.on_hold
+            if on_hold is not None:
+                on_hold(task)
+            return True
+        return False
+
+    # -- control side (takes the lock itself) ---------------------------
+    def _notify(self, n: Optional[int] = None) -> None:
+        for cv in self._cvs:
+            if n is None:
+                cv.notify_all()
+            else:
+                cv.notify(n)
+
+    def _recompute_engaged(self) -> None:
+        self.engaged = bool(
+            self.paused or self.break_names or self.break_ids
+        )
+        self._sync_installed()
+
+    def pause(self) -> None:
+        with self._lock:
+            self.paused = True
+            self.engaged = True
+            self._sync_installed()
+
+    def resume(self) -> None:
+        """Drop the gate: clear pause and any unused step budget."""
+
+        with self._lock:
+            self.paused = False
+            self.step_budget = 0
+            self._recompute_engaged()
+            self._notify()
+
+    def step(self, n: int = 1) -> None:
+        """Grant *n* dispatch tickets (pauses first if free-running).
+
+        A ticket is consumed by the dispatch *attempt* — a breakpoint
+        hold eats one, so ``step(5)`` at a fresh breakpoint runs the
+        held task plus three more.
+        """
+
+        if n < 1:
+            raise ValueError("step(n) needs n >= 1")
+        with self._lock:
+            self.paused = True
+            self.engaged = True
+            self._sync_installed()
+            self.step_budget += n
+            self._notify(n)
+
+    def add_break(self, name: Optional[str] = None,
+                  task_id: Optional[int] = None) -> None:
+        if name is None and task_id is None:
+            raise ValueError("breakpoint needs a task-type name or a task id")
+        with self._lock:
+            if name is not None:
+                self.break_names.add(name)
+            if task_id is not None:
+                self.break_ids.add(int(task_id))
+            self.engaged = True
+            self._sync_installed()
+
+    def remove_break(self, name: Optional[str] = None,
+                     task_id: Optional[int] = None) -> None:
+        with self._lock:
+            if name is not None:
+                self.break_names.discard(name)
+            if task_id is not None:
+                self.break_ids.discard(int(task_id))
+            self._recompute_engaged()
+
+    def clear_breaks(self) -> None:
+        with self._lock:
+            self.break_names.clear()
+            self.break_ids.clear()
+            self._skip_ids.clear()
+            self._recompute_engaged()
+
+    def state(self) -> dict:
+        """Plain-data control state (for snapshots; lock-free read of
+        scalar fields, consistent enough for display)."""
+
+        return {
+            "paused": self.paused,
+            "step_budget": self.step_budget,
+            "break_names": sorted(self.break_names),
+            "break_ids": sorted(self.break_ids),
+            "holds": self.holds,
+        }
+
+
 class SmpssScheduler:
     """Ready lists + the section III selection policy.
 
@@ -102,6 +304,9 @@ class SmpssScheduler:
         # path then pays a plain None check instead of a Python-level
         # __bool__ call per operation (~5% on this path).
         self.tracer = tracer if tracer else None
+        #: Optional :class:`DispatchGate` (``repro.live``); ``None`` —
+        #: the default — costs one attribute load per pop.
+        self.gate: Optional[DispatchGate] = None
         self._ready_count = 0
 
     # ------------------------------------------------------------------
@@ -176,7 +381,27 @@ class SmpssScheduler:
             # come up dry as well — the fast path subsumes it.
             self.stats.failed_steals += 1
             return None
-        task = self._select(thread)
+        gate = self.gate
+        # An installed gate occupies this slot only while engaged
+        # (DispatchGate.install), so a live session with nothing
+        # paused/held costs exactly one None check here — the
+        # microbench pins it at <5% over live=False.
+        if gate is not None:
+            if not gate.admit():
+                # Paused: no stats — this is a debugger hold, not a
+                # scheduling failure.  The caller parks on its cv.
+                return None
+            task = self._select(thread)
+            if task is not None and gate.should_hold(task):
+                # Held at the boundary: requeue at the head of the high
+                # list so the held task is the next dispatch once the
+                # user steps/resumes.  (The per-list pop counter above
+                # already counted the aborted selection — a known,
+                # documented skew while a debugger holds tasks.)
+                self.high.appendleft(task)
+                return None
+        else:
+            task = self._select(thread)
         if task is None:
             self.stats.failed_pops += 1
             self.stats.failed_pops_by_thread[thread] += 1
@@ -224,6 +449,19 @@ class SmpssScheduler:
 
     def has_ready(self) -> bool:
         return self._ready_count > 0
+
+    def queue_depths(self) -> dict:
+        """Instantaneous per-list depths (read under the owner's lock).
+
+        One source of truth for both the live dashboard snapshots and
+        the ``scheduler.*_depth`` gauges the runtime publishes.
+        """
+
+        return {
+            "high": len(self.high),
+            "main": len(self.main),
+            "locals": [len(queue) for queue in self.locals],
+        }
 
 
 class HotStealScheduler(SmpssScheduler):
@@ -277,6 +515,7 @@ class CentralQueueScheduler:
         self.queue: deque[TaskInstance] = deque()
         self.stats = SchedulerStats()
         self.tracer = tracer if tracer else None  # see SmpssScheduler
+        self.gate: Optional[DispatchGate] = None  # see SmpssScheduler
         self._ready_count = 0
 
     def push_new(self, task: TaskInstance) -> None:
@@ -307,7 +546,16 @@ class CentralQueueScheduler:
             self.stats.failed_pops += 1
             self.stats.failed_pops_by_thread[thread] += 1
             return None
-        task = source.popleft()
+        gate = self.gate
+        if gate is not None:  # engaged-only slot; see SmpssScheduler.pop
+            if not gate.admit():
+                return None
+            task = source.popleft()
+            if gate.should_hold(task):
+                self.high.appendleft(task)  # next dispatch; see SmpssScheduler
+                return None
+        else:
+            task = source.popleft()
         task.state = TaskState.RUNNING
         self._ready_count -= 1
         self.stats.pops_main += 1
@@ -320,3 +568,12 @@ class CentralQueueScheduler:
 
     def has_ready(self) -> bool:
         return self._ready_count > 0
+
+    def queue_depths(self) -> dict:
+        """See :meth:`SmpssScheduler.queue_depths` (no per-thread lists)."""
+
+        return {
+            "high": len(self.high),
+            "main": len(self.queue),
+            "locals": [],
+        }

@@ -35,6 +35,12 @@ class EventKind:
     TASK_READY = "task_ready"
     TASK_START = "task_start"
     TASK_END = "task_end"
+    #: A dependency edge entered the graph: ``task_id`` is the successor,
+    #: ``extra`` is ``(pred_id, kind)``.  Emitted by the graph while the
+    #: main thread analyses a submission, so a live consumer sees the
+    #: DAG grow edge by edge (the TEMANEJO-style feed ``repro.live``
+    #: streams as graph deltas).
+    EDGE_ADDED = "edge_added"
     STEAL = "steal"
     RENAME = "rename"
     BARRIER_ENTER = "barrier_enter"
@@ -68,19 +74,27 @@ class Tracer:
     def __init__(self, clock: Optional[Callable[[], float]] = None):
         self.clock = clock or time.perf_counter
         self.events: list[TraceEvent] = []
+        #: Optional per-event callback ``fn(event)`` invoked on the
+        #: emitting thread right after the event is recorded.  This is
+        #: the live event plane's tap (:mod:`repro.live`); ``None`` (the
+        #: default) costs one attribute load + identity check per event.
+        #: The callback must be fast and must not take runtime locks.
+        self.listener: Optional[Callable[[TraceEvent], None]] = None
 
     # -- emit helpers ------------------------------------------------------
     def _emit(self, kind: str, task=None, thread: int = -1, extra: tuple = ()):
-        self.events.append(
-            TraceEvent(
-                time=self.clock(),
-                kind=kind,
-                task_id=task.task_id if task is not None else -1,
-                task_name=task.name if task is not None else "",
-                thread=thread,
-                extra=extra,
-            )
+        event = TraceEvent(
+            time=self.clock(),
+            kind=kind,
+            task_id=task.task_id if task is not None else -1,
+            task_name=task.name if task is not None else "",
+            thread=thread,
+            extra=extra,
         )
+        self.events.append(event)
+        listener = self.listener
+        if listener is not None:
+            listener(event)
 
     def task_added(self, task) -> None:
         self._emit(EventKind.TASK_ADDED, task)
@@ -99,6 +113,11 @@ class Tracer:
 
     def task_end(self, task, thread: int) -> None:
         self._emit(EventKind.TASK_END, task, thread)
+
+    def edge(self, pred, succ, kind: str) -> None:
+        """A dependency edge *pred* -> *succ* entered the graph."""
+
+        self._emit(EventKind.EDGE_ADDED, succ, extra=(pred.task_id, kind))
 
     def steal(self, task, thief: int, victim: int) -> None:
         self._emit(EventKind.STEAL, task, thief, extra=("victim", victim))
@@ -134,10 +153,17 @@ class Tracer:
         The process backend uses this to land worker-side ring buffers
         (timestamped with the same monotonic clock) in the master's
         timeline, so every consumer — reports, Perfetto export, trace
-        diffing — sees worker processes as ordinary threads.
+        diffing — sees worker processes as ordinary threads.  Ingested
+        events arrive in batches *after* the fact, so their timestamps
+        may predate already-recorded ones; readers that need time order
+        sort (``task_intervals``, the Chrome-trace exporter).
         """
 
-        self.events.extend(events)
+        listener = self.listener
+        for event in events:
+            self.events.append(event)
+            if listener is not None:
+                listener(event)
 
     # -- post-mortem queries ----------------------------------------------
     def of_kind(self, kind: str) -> list[TraceEvent]:
@@ -147,11 +173,17 @@ class Tracer:
         return Counter(e.kind for e in self.events)
 
     def task_intervals(self) -> dict[int, tuple[float, float, int, str]]:
-        """task_id -> (start, end, thread, name) for completed tasks."""
+        """task_id -> (start, end, thread, name) for completed tasks.
+
+        Events are walked in timestamp order, not list order: batches
+        landed by :meth:`ingest` (worker rings shipped with mp replies)
+        can place a task's START *after* its END in the raw list, which
+        would silently drop the interval.
+        """
 
         starts: dict[int, TraceEvent] = {}
         intervals: dict[int, tuple[float, float, int, str]] = {}
-        for event in self.events:
+        for event in sorted(self.events, key=lambda e: e.time):
             if event.kind == EventKind.TASK_START:
                 starts[event.task_id] = event
             elif event.kind == EventKind.TASK_END:
@@ -306,6 +338,7 @@ class ThreadLocalTracer(Tracer):
     ):
         self.clock = clock or time.perf_counter
         self.capacity = capacity
+        self.listener = None  # see Tracer.listener
         self._tls = threading.local()
         self._buffers: list[_RingBuffer] = []
         self._register_lock = threading.Lock()
@@ -325,16 +358,18 @@ class ThreadLocalTracer(Tracer):
         buf = ring.events
         if len(buf) == buf.maxlen:
             ring.dropped += 1
-        buf.append(
-            TraceEvent(
-                time=self.clock(),
-                kind=kind,
-                task_id=task.task_id if task is not None else -1,
-                task_name=task.name if task is not None else "",
-                thread=thread,
-                extra=extra,
-            )
+        event = TraceEvent(
+            time=self.clock(),
+            kind=kind,
+            task_id=task.task_id if task is not None else -1,
+            task_name=task.name if task is not None else "",
+            thread=thread,
+            extra=extra,
         )
+        buf.append(event)
+        listener = self.listener
+        if listener is not None:
+            listener(event)
 
     def ingest(self, events: Iterable[TraceEvent]) -> None:
         """Append foreign events to the *calling thread's* ring.
@@ -349,10 +384,13 @@ class ThreadLocalTracer(Tracer):
         except AttributeError:
             ring = self._register()
         buf = ring.events
+        listener = self.listener
         for event in events:
             if len(buf) == buf.maxlen:
                 ring.dropped += 1
             buf.append(event)
+            if listener is not None:
+                listener(event)
 
     @property
     def events(self) -> list[TraceEvent]:  # type: ignore[override]

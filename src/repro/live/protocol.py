@@ -1,0 +1,204 @@
+"""The wire format of the live event/control plane.
+
+One JSON object per line, UTF-8, ``\n``-terminated, in both
+directions.  The server streams *graph deltas* — the incremental
+records a TEMANEJO-style front end needs to mirror the DAG as it grows
+and executes — interleaved with periodic ``snapshot`` records; the
+client sends small command objects and correlates replies by ``seq``.
+
+Server -> client records (``ev`` field):
+
+``hello``
+    First line on every connection: ``version``, ``threads``,
+    ``backend``, ``pid``.
+``task``
+    A task changed state: ``id``, ``name``, ``state`` in
+    ``submitted | ready | running | done | dispatched`` (``dispatched``
+    is the process backend's "handed to a worker process" — its
+    ``running`` only lands when the worker's events ship back),
+    ``t`` (tracer clock), ``thread``.
+``edge``
+    A dependency edge entered the graph: ``src``, ``dst``, ``kind``.
+``rename``
+    The renaming engine cut a WAR/WAW hazard for ``id``: ``base``
+    (type name of the renamed object), ``kind``.
+``steal``
+    ``id`` moved from ``victim``'s list to ``thief``.
+``mark``
+    Point event: ``what`` (barrier_enter/exit, wait_on_enter/exit,
+    write_back, violation), ``t``, ``thread``.
+``note``
+    Human-readable server-side message (breakpoint hit, shutdown
+    release, ...).
+``snapshot``
+    Periodic control/occupancy state (see ``LiveSession.state``).
+``ack``
+    Reply to one command: ``seq``, ``cmd``, ``ok``, ``data`` | ``error``.
+``bye``
+    Orderly end of stream.
+
+Client -> server commands (``cmd`` field, plus a client-chosen ``seq``):
+
+``pause`` / ``resume`` / ``step`` (``n``) — drive the dispatch gate;
+``break`` (``name`` or ``id``, ``remove`` to delete) / ``clear`` —
+edit breakpoints; ``state`` — one immediate snapshot in the ack;
+``ping`` — liveness; ``detach`` — close this connection only.
+
+Addresses take two forms: ``tcp:HOST:PORT`` (PORT ``0`` binds an
+ephemeral port; the server reports the real one) or a filesystem path,
+which means a unix-domain socket.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Optional
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "encode",
+    "decode",
+    "parse_address",
+    "format_address",
+    "connect",
+    "event_to_delta",
+]
+
+PROTOCOL_VERSION = 1
+
+
+def encode(record: dict) -> bytes:
+    """One wire line for *record* (compact separators, trailing LF)."""
+
+    return json.dumps(record, separators=(",", ":")).encode() + b"\n"
+
+
+def decode(line) -> Optional[dict]:
+    """Parse one wire line; ``None`` for blank/unparseable lines."""
+
+    if not line:
+        return None
+    try:
+        record = json.loads(line)
+    except ValueError:
+        return None
+    return record if isinstance(record, dict) else None
+
+
+def parse_address(spec: str) -> tuple:
+    """``"tcp:HOST:PORT"`` -> ``("tcp", host, port)``; anything else is
+    a unix-socket path -> ``("unix", path)``."""
+
+    if spec.startswith("tcp:"):
+        rest = spec[4:]
+        host, sep, port = rest.rpartition(":")
+        if not sep or not host:
+            raise ValueError(
+                f"bad tcp address {spec!r}; expected tcp:HOST:PORT"
+            )
+        return ("tcp", host, int(port))
+    return ("unix", spec)
+
+
+def format_address(parsed: tuple) -> str:
+    if parsed[0] == "tcp":
+        return f"tcp:{parsed[1]}:{parsed[2]}"
+    return parsed[1]
+
+
+def connect(spec: str, timeout: Optional[float] = None) -> socket.socket:
+    """Client-side connect to a server address spec."""
+
+    parsed = parse_address(spec)
+    if parsed[0] == "tcp":
+        sock = socket.create_connection(
+            (parsed[1], parsed[2]), timeout=timeout
+        )
+    else:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        if timeout is not None:
+            sock.settimeout(timeout)
+        sock.connect(parsed[1])
+    return sock
+
+
+# ---------------------------------------------------------------------------
+# tracer event -> graph delta
+# ---------------------------------------------------------------------------
+
+# Imported late to keep this module importable without the core package
+# fully initialised (the CLI client only needs encode/decode/connect).
+def event_to_delta(event) -> Optional[dict]:
+    """Convert one :class:`~repro.core.tracing.TraceEvent` into its
+    wire delta, or ``None`` for kinds the stream does not carry."""
+
+    from ..core.tracing import EventKind
+
+    kind = event.kind
+    state = _TASK_STATES.get(kind)
+    if state is not None:
+        return {
+            "ev": "task",
+            "id": event.task_id,
+            "name": event.task_name,
+            "state": state,
+            "t": event.time,
+            "thread": event.thread,
+        }
+    if kind == EventKind.EDGE_ADDED:
+        pred_id, edge_kind = event.extra
+        return {
+            "ev": "edge",
+            "src": pred_id,
+            "dst": event.task_id,
+            "kind": edge_kind,
+        }
+    if kind == EventKind.RENAME:
+        base, rename_kind = event.extra
+        return {
+            "ev": "rename",
+            "id": event.task_id,
+            "base": base,
+            "kind": rename_kind,
+        }
+    if kind == EventKind.STEAL:
+        return {
+            "ev": "steal",
+            "id": event.task_id,
+            "thief": event.thread,
+            "victim": event.extra[1],
+        }
+    if kind in _MARK_KINDS:
+        return {
+            "ev": "mark",
+            "what": kind,
+            "t": event.time,
+            "thread": event.thread,
+        }
+    return None
+
+
+def _init_tables():
+    from ..core.tracing import EventKind
+
+    task_states = {
+        EventKind.TASK_ADDED: "submitted",
+        EventKind.TASK_READY: "ready",
+        EventKind.TASK_START: "running",
+        EventKind.TASK_END: "done",
+    }
+    mark_kinds = frozenset(
+        (
+            EventKind.BARRIER_ENTER,
+            EventKind.BARRIER_EXIT,
+            EventKind.WAIT_ON_ENTER,
+            EventKind.WAIT_ON_EXIT,
+            EventKind.WRITE_BACK,
+            EventKind.VIOLATION,
+        )
+    )
+    return task_states, mark_kinds
+
+
+_TASK_STATES, _MARK_KINDS = _init_tables()

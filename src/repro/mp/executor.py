@@ -215,6 +215,12 @@ class ProcessBackend:
         """
 
         worker = self._workers[slot - 1]
+        live = self._runtime.live
+        if live is not None:
+            # The worker-side task_start only ships back *with* the
+            # reply; without this, a live dashboard would never see a
+            # task leave the queue until it was already done.
+            live.notify_dispatch(task, slot)
         values = resolve_call_values(task)
         try:
             enc_values = encode_values(task, values)

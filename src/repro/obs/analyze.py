@@ -201,6 +201,7 @@ def analyze_tracer(
 _INSTANT_NAME_TO_KIND = {
     "task_added": EventKind.TASK_ADDED,
     "task_ready": EventKind.TASK_READY,
+    "edge_added": EventKind.EDGE_ADDED,
     "steal": EventKind.STEAL,
     "rename": EventKind.RENAME,
     "barrier_enter": EventKind.BARRIER_ENTER,

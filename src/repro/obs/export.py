@@ -33,6 +33,7 @@ __all__ = [
 _INSTANT_KINDS = {
     EventKind.TASK_ADDED: "task_added",
     EventKind.TASK_READY: "task_ready",
+    EventKind.EDGE_ADDED: "edge_added",
     EventKind.STEAL: "steal",
     EventKind.RENAME: "rename",
     EventKind.BARRIER_ENTER: "barrier_enter",
@@ -53,7 +54,11 @@ def to_chrome_trace(tracer, *, pid: int = 1) -> dict:
     an instant (``ph == "i"``) with thread scope.
     """
 
-    events = tracer.events
+    # Timestamp order, not list order: a plain Tracer that ingested
+    # worker-ring batches (mp replies) holds them appended after the
+    # fact, and Chrome's B/E matching requires per-tid time order —
+    # unsorted, a task's E could precede its B and the slice vanishes.
+    events = sorted(tracer.events, key=lambda e: e.time)
     t0 = min((e.time for e in events), default=0.0)
     records = []
     for event in events:

@@ -195,3 +195,69 @@ class TestThreadLocalTracer:
         t.start()
         t.join()
         assert len(tracer._buffers) == 2
+
+
+class TestIngestOutOfOrder:
+    """Worker-ring batches land *after* the fact (mp replies ship them
+    with the result), so their timestamps may predate events already in
+    the stream.  Every time-ordered consumer must sort, not trust list
+    order — a regression here silently drops Chrome-trace slices."""
+
+    @staticmethod
+    def _interval_events(task_id, name, start, end, thread):
+        from repro.core.tracing import TraceEvent
+
+        return [
+            TraceEvent(time=start, kind=EventKind.TASK_START,
+                       task_id=task_id, task_name=name, thread=thread),
+            TraceEvent(time=end, kind=EventKind.TASK_END,
+                       task_id=task_id, task_name=name, thread=thread),
+        ]
+
+    def _tracer_with_interleaved_rings(self, tracer):
+        """Two worker rings ingested late, timestamps interleaved with
+        (and preceding) an event the master already recorded."""
+
+        tracer.clock = lambda: 10.0
+
+        class _Task:
+            task_id, name = 99, "master"
+
+        tracer.task_start(_Task(), 0)
+        tracer.clock = lambda: 11.0
+        tracer.task_end(_Task(), 0)
+        # Ring batches arrive afterwards but happened *earlier*; ring
+        # two's interval nests inside ring one's wall-clock span.
+        tracer.ingest(self._interval_events(1, "w1", 2.0, 6.0, 1))
+        tracer.ingest(self._interval_events(2, "w2", 3.0, 5.0, 2))
+        return tracer
+
+    @pytest.mark.parametrize("factory", [Tracer, ThreadLocalTracer])
+    def test_task_intervals_survive_late_batches(self, factory):
+        tracer = self._tracer_with_interleaved_rings(factory())
+        intervals = tracer.task_intervals()
+        assert intervals[1] == (2.0, 6.0, 1, "w1")
+        assert intervals[2] == (3.0, 5.0, 2, "w2")
+        assert intervals[99] == (10.0, 11.0, 0, "master")
+
+    @pytest.mark.parametrize("factory", [Tracer, ThreadLocalTracer])
+    def test_chrome_export_is_time_ordered(self, factory):
+        from repro.obs.export import to_chrome_trace
+
+        tracer = self._tracer_with_interleaved_rings(factory())
+        doc = to_chrome_trace(tracer)
+        slices = [r for r in doc["traceEvents"] if r["ph"] in ("B", "E")]
+        # Globally time-sorted, so each tid's sub-sequence is too and
+        # Chrome's B/E matching never sees an E before its B.
+        assert [r["ts"] for r in slices] == sorted(r["ts"] for r in slices)
+        opened = {}
+        for record in slices:
+            key = record["args"]["task_id"]
+            if record["ph"] == "B":
+                opened[key] = record["ts"]
+            else:
+                assert key in opened, "E before B would drop the slice"
+                assert record["ts"] >= opened.pop(key)
+        assert not opened
+        # All three intervals survived as slices (2 records each).
+        assert len(slices) == 6
