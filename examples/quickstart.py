@@ -15,7 +15,12 @@ This script shows:
     and the runtime's own utilisation/critical-path report.
 
 Run:  python examples/quickstart.py
+
+Outputs (trace JSON, graph DOT) land in ``examples/out/`` — gitignored
+build artifacts, safe to delete.
 """
+
+import os
 
 import numpy as np
 
@@ -94,12 +99,17 @@ def main() -> None:
     with SmpssRuntime(num_workers=3, trace=True, keep_graph=True) as rt:
         _blocked_matmul_program()
         rt.barrier()
-    trace_path = write_chrome_trace(rt.tracer, "quickstart_trace.json")
+    out_dir = os.path.join(os.path.dirname(os.path.abspath(__file__)), "out")
+    os.makedirs(out_dir, exist_ok=True)
+    trace_path = write_chrome_trace(
+        rt.tracer, os.path.join(out_dir, "quickstart_trace.json")
+    )
     print(f"\nPerfetto trace written: {trace_path} "
           "(open at https://ui.perfetto.dev)")
-    with open("quickstart_graph.dot", "w") as fh:
+    dot_path = os.path.join(out_dir, "quickstart_graph.dot")
+    with open(dot_path, "w") as fh:
         fh.write(graph_to_dot(rt.graph))
-    print("task graph with critical path in red: quickstart_graph.dot "
+    print(f"task graph with critical path in red: {dot_path} "
           "(render with `dot -Tsvg`)")
     print()
     print(rt.report())

@@ -97,6 +97,27 @@ class RuntimeConfig:
     live_start_paused: bool = False
     #: Seconds between periodic metrics snapshots on the event stream.
     live_snapshot_interval: float = 0.25
+    #: Always-on runtime health (:mod:`repro.obs.health`): a watchdog
+    #: thread samples scheduler/tracker state every ``health_interval``
+    #: seconds, detects stalls / starvation / queue imbalance / worker
+    #: deaths / suspected deadlocks, keeps a bounded flight-recorder
+    #: ring of recent completions, and dumps it to disk when an anomaly
+    #: fires (or on SIGUSR1).  Requires ``metrics=True`` (the default);
+    #: works with tracing off — that is its point.
+    health: bool = False
+    #: Watchdog sampling period in seconds.
+    health_interval: float = 0.5
+    #: Metrics exposition endpoint (Prometheus text format) for the
+    #: health layer: a unix-socket path or ``"tcp:HOST:PORT"`` (port 0
+    #: picks an ephemeral one; the bound address is on
+    #: ``runtime.health.address``).  Setting an address implies
+    #: ``health=True``; ``None`` with ``health=True`` keeps the watchdog
+    #: and flight recorder in-process only.
+    health_address: Optional[str] = None
+    #: Directory flight-recorder dumps land in (anomaly / SIGUSR1 /
+    #: explicit ``runtime.health.dump()``).  ``None``: the system temp
+    #: directory.
+    health_dump_dir: Optional[str] = None
     #: Ready-list structure; swap for CentralQueueScheduler in ablations.
     scheduler_factory: Callable = SmpssScheduler
     #: Extra names usable in dimension/region expressions (the paper's
@@ -187,6 +208,14 @@ def resolve_config(
         # The event plane is a listener on the tracer; without events
         # there is nothing to stream.
         resolved.trace = True
+    if resolved.health_address is not None:
+        resolved.health = True
+    if resolved.health and not resolved.metrics:
+        raise TypeError(
+            f"{runtime}: health=True requires metrics=True — the watchdog "
+            f"and exposition endpoint publish into the MetricsRegistry; "
+            f"drop metrics=False (it is the default) or disable health"
+        )
     if resolved.backend == "processes" and resolved.sanitize:
         raise TypeError(
             f"{runtime}: sanitize=True is incompatible with "

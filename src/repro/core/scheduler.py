@@ -463,6 +463,22 @@ class SmpssScheduler:
             "locals": [len(queue) for queue in self.locals],
         }
 
+    def queue_imbalance(self) -> tuple[int, float]:
+        """``(deepest_local_depth, its_share_of_all_ready)``.
+
+        The health watchdog's imbalance signal: a single per-thread LIFO
+        hoarding most of the ready work while other threads would have
+        to steal one-by-one.  Racy read (the watchdog samples without
+        the scheduler lock); both values are display/diagnosis numbers,
+        never control flow inside the scheduler.
+        """
+
+        total = self._ready_count
+        if total <= 0 or not self.locals:
+            return (0, 0.0)
+        deepest = max(len(queue) for queue in self.locals)
+        return (deepest, deepest / max(1, total))
+
 
 class HotStealScheduler(SmpssScheduler):
     """Ablation: steal from the LIFO (hot) end of the victim's deque.
@@ -577,3 +593,8 @@ class CentralQueueScheduler:
             "main": len(self.queue),
             "locals": [],
         }
+
+    def queue_imbalance(self) -> tuple[int, float]:
+        """A central queue cannot be imbalanced; interface parity."""
+
+        return (0, 0.0)

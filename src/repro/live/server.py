@@ -38,10 +38,19 @@ class LiveServer:
         address: str,
         handler: Callable[[dict], dict],
         hello: Optional[dict] = None,
+        http_responder: Optional[Callable] = None,
     ):
         self._handler = handler
         self._hello = dict(hello or {})
         self._hello["ev"] = "hello"
+        #: Optional ``fn(handler, path) -> bytes`` serving plain HTTP
+        #: GETs (the health exposition endpoint passes its Prometheus
+        #: router here).  When set, the hello/backlog replay is
+        #: *deferred* until the first client bytes identify the
+        #: protocol — an HTTP client must not receive JSON lines ahead
+        #: of its response.  ``None`` (every live session) keeps the
+        #: original send-hello-on-accept behaviour.
+        self._http_responder = http_responder
         parsed = parse_address(address)
         self._unix_path: Optional[str] = None
         if parsed[0] == "tcp":
@@ -139,12 +148,17 @@ class LiveServer:
                 # Register *before* replay is complete would interleave
                 # live lines into the backlog out of order, so replay
                 # happens while holding the lock — attach is rare and
-                # the backlog bounded by the graph size.
-                try:
-                    client.sendall(encode(self._hello) + b"".join(backlog))
-                except OSError:
-                    client.close()
-                    continue
+                # the backlog bounded by the graph size.  With an HTTP
+                # responder the replay is deferred to the reader thread
+                # (after protocol sniffing) instead.
+                if self._http_responder is None:
+                    try:
+                        client.sendall(
+                            encode(self._hello) + b"".join(backlog)
+                        )
+                    except OSError:
+                        client.close()
+                        continue
                 self._clients.append(client)
                 self._wlocks[client] = threading.Lock()
             reader = threading.Thread(
@@ -158,15 +172,15 @@ class LiveServer:
 
     def _client_loop(self, client: socket.socket) -> None:
         buffer = b""
-        while True:
-            try:
-                chunk = client.recv(65536)
-            except OSError:
-                chunk = b""
-            if not chunk:
-                self._drop(client)
+        if self._http_responder is not None:
+            handled, buffer = self._sniff_http(client)
+            if handled:
                 return
-            buffer += chunk
+        while True:
+            # Drain complete lines first: the protocol sniff may have
+            # buffered the client's first command already, and a recv
+            # before processing it would deadlock a request/reply
+            # client waiting for its ack.
             while b"\n" in buffer:
                 line, buffer = buffer.split(b"\n", 1)
                 command = decode(line)
@@ -177,6 +191,81 @@ class LiveServer:
                     self._drop(client)
                     return
                 self._send(client, encode(self._run(command)))
+            try:
+                chunk = client.recv(65536)
+            except OSError:
+                chunk = b""
+            if not chunk:
+                self._drop(client)
+                return
+            buffer += chunk
+
+    def _sniff_http(self, client: socket.socket) -> tuple[bool, bytes]:
+        """Identify the client's protocol from its first bytes.
+
+        Returns ``(True, b"")`` after serving (and closing) an HTTP
+        ``GET``/``HEAD``; otherwise sends the deferred hello + backlog
+        replay and returns ``(False, buffered_bytes)`` for the JSON
+        loop to continue with.
+        """
+
+        buffer = b""
+        while len(buffer) < 5:
+            try:
+                chunk = client.recv(65536)
+            except OSError:
+                chunk = b""
+            if not chunk:
+                self._drop(client)
+                return True, b""
+            buffer += chunk
+        if buffer.startswith(b"GET ") or buffer.startswith(b"HEAD "):
+            # Drain the request head (best effort; one request per
+            # connection, Connection: close semantics).
+            while b"\r\n\r\n" not in buffer and len(buffer) < 65536:
+                try:
+                    chunk = client.recv(65536)
+                except OSError:
+                    break
+                if not chunk:
+                    break
+                buffer += chunk
+            request_line = buffer.split(b"\r\n", 1)[0].decode(
+                "latin-1", "replace"
+            )
+            parts = request_line.split()
+            path = parts[1] if len(parts) > 1 else "/"
+            try:
+                response = self._http_responder(self._handler, path)
+            except Exception as exc:  # noqa: BLE001 - report, don't die
+                body = str(exc).encode("utf-8", "replace")
+                response = (
+                    b"HTTP/1.1 500 Internal Server Error\r\n"
+                    b"Content-Type: text/plain\r\n"
+                    b"Content-Length: " + str(len(body)).encode() +
+                    b"\r\nConnection: close\r\n\r\n" + body
+                )
+            lock = self._wlocks.get(client)
+            try:
+                if lock is not None:
+                    with lock:
+                        client.sendall(response)
+            except OSError:
+                pass
+            self._drop(client)
+            return True, b""
+        # JSON-lines client: deliver the deferred hello + backlog now.
+        with self._lock:
+            backlog = list(self._history)
+        try:
+            lock = self._wlocks.get(client)
+            if lock is not None:
+                with lock:
+                    client.sendall(encode(self._hello) + b"".join(backlog))
+        except OSError:
+            self._drop(client)
+            return True, b""
+        return False, buffer
 
     def _run(self, command: dict) -> dict:
         ack = {

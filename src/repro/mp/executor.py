@@ -318,3 +318,26 @@ class ProcessBackend:
     @property
     def worker_pids(self) -> list[Optional[int]]:
         return [worker.pid for worker in self._workers]
+
+    def liveness(self) -> list[dict]:
+        """Per-slot worker liveness, the health watchdog's feed.
+
+        ``generation`` > 1 means the slot has been respawned after a
+        death; ``alive`` is the OS-level :meth:`Process.is_alive` (a
+        dead-but-not-yet-respawned worker shows up here before the next
+        dispatch to that slot notices).  Lock-free snapshot — the list
+        is display data for :mod:`repro.obs.health`, never control flow.
+        """
+
+        out = []
+        for worker in self._workers:
+            proc = worker.proc
+            out.append(
+                {
+                    "slot": worker.slot,
+                    "pid": worker.pid,
+                    "alive": bool(proc is not None and proc.is_alive()),
+                    "generation": worker.generation,
+                }
+            )
+        return out

@@ -18,7 +18,13 @@ the Python reproduction, richer and cheaper:
 * the differential analyzer (:mod:`repro.obs.diff`) behind
   ``python -m repro.obs diff A.trace.json B.trace.json`` — run-to-run
   makespan-delta attribution with bootstrap CIs, critical-path
-  composition diffs, and side-by-side Chrome-trace/DOT exports.
+  composition diffs, and side-by-side Chrome-trace/DOT exports;
+* the always-on health layer (:mod:`repro.obs.health`,
+  ``health=True``) — a stall/starvation/deadlock watchdog with a
+  blocked-task explainer, a bounded flight recorder dumped on anomaly
+  or ``SIGUSR1`` (:mod:`repro.obs.flightrec`), and a Prometheus text
+  exposition endpoint (:mod:`repro.obs.exposition`,
+  ``python -m repro.obs serve`` / ``scrape``).
 
 See ``docs/observability.md`` for the metrics catalogue and usage,
 and ``docs/benchmarking.md`` for the baseline/compare workflow built
@@ -48,6 +54,21 @@ from .diff import (
     write_diff_dot,
 )
 from .export import graph_to_dot, to_chrome_trace, write_chrome_trace, write_dot
+from .exposition import (
+    ExpositionServer,
+    render_registry,
+    render_snapshot,
+    scrape,
+)
+from .flightrec import FlightRecorder
+from .health import (
+    Finding,
+    HealthMonitor,
+    StallError,
+    explain_blocked,
+    wait_chain,
+    wait_graph_dot,
+)
 from .metrics import (
     CounterMetric,
     GaugeMetric,
@@ -86,4 +107,15 @@ __all__ = [
     "render_figure_diff",
     "write_diff_chrome_trace",
     "write_diff_dot",
+    "ExpositionServer",
+    "render_registry",
+    "render_snapshot",
+    "scrape",
+    "FlightRecorder",
+    "Finding",
+    "HealthMonitor",
+    "StallError",
+    "explain_blocked",
+    "wait_chain",
+    "wait_graph_dot",
 ]

@@ -380,6 +380,79 @@ def runtime_report(runtime, title: str = "runtime report") -> str:
         ]
         if scheduler_bits:
             lines.append("  scheduler: " + "  ".join(scheduler_bits))
+        quantile_lines = _task_duration_quantiles(metrics)
+        if quantile_lines:
+            lines.append("  task duration p50/p95/p99:")
+            lines.extend(quantile_lines)
         if len(lines) > 1:
             text += "\n" + "\n".join(lines)
+        backend = _backend_health_lines(runtime, snap)
+        if backend:
+            text += "\nbackend health:\n" + "\n".join(backend)
     return text
+
+
+def _task_duration_quantiles(metrics) -> list[str]:
+    """Per-task-type p50/p95/p99 lines from the live histogram objects.
+
+    Quantiles need the histogram's raw buffer and bucket tallies, not
+    the folded snapshot — so this reads the registry's metric objects
+    directly (:meth:`HistogramMetric.quantile`).
+    """
+
+    from .metrics import HistogramMetric
+
+    lines = []
+    for metric in metrics:
+        if (
+            not isinstance(metric, HistogramMetric)
+            or metric.name != "task_duration_seconds"
+        ):
+            continue
+        labels = dict(metric.labels)
+        task = labels.get("task", "<all>")
+        p50, p95, p99 = (metric.quantile(q) for q in (0.5, 0.95, 0.99))
+        if p50 is None:
+            continue
+        lines.append(
+            f"    {task}: {_fmt_s(p50)} / {_fmt_s(p95)} / {_fmt_s(p99)}"
+        )
+    return sorted(lines)
+
+
+def _backend_health_lines(runtime, snap: dict) -> list[str]:
+    """The "backend health" report section.
+
+    Surfaces the mp robustness counters (worker deaths, redispatches —
+    recorded since the process backend landed, but never shown) plus
+    worker liveness and any health-watchdog findings.
+    """
+
+    lines = []
+    deaths = snap.get("mp.worker_deaths")
+    redispatched = snap.get("mp.redispatched_tasks")
+    if deaths is not None or redispatched is not None:
+        mp = getattr(runtime, "_mp", None)
+        alive_bit = ""
+        if mp is not None:
+            liveness = mp.liveness()
+            alive = sum(1 for w in liveness if w["alive"])
+            alive_bit = f"  workers alive: {alive}/{len(liveness)}"
+        lines.append(
+            f"  mp: worker_deaths={deaths or 0}  "
+            f"redispatched_tasks={redispatched or 0}{alive_bit}"
+        )
+    monitor = getattr(runtime, "health", None)
+    if monitor is not None:
+        sample = monitor.last_sample
+        age = sample.get("last_completion_age")
+        age_bit = f"  last_completion_age={age:.2f}s" if age is not None else ""
+        lines.append(
+            f"  watchdog: findings={len(monitor.findings)}"
+            f"{age_bit}  interval={monitor.interval}s"
+        )
+        for finding in monitor.findings[-5:]:
+            lines.append(
+                f"    [{finding.severity}] {finding.kind}: {finding.message}"
+            )
+    return lines

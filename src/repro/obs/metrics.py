@@ -165,6 +165,42 @@ class HistogramMetric:
         self._fold()
         return self._sum / self._count if self._count else 0.0
 
+    def quantile(self, q: float):
+        """Nearest-rank q-quantile over everything observed so far.
+
+        The estimate merges two populations *without* folding the raw
+        buffer: the not-yet-folded observations contribute their exact
+        values, and each already-folded bucket contributes its count at
+        the bucket's upper bound (``2**k`` for bucket *k*; the
+        underflow bucket at ``0.0``).  While nothing has been folded —
+        fewer than ``_FOLD_AT`` observations, the common case for
+        per-task-type duration series — the result is therefore the
+        exact nearest-rank quantile; after folding it is conservative
+        (an upper bound) within the power-of-two bucket width, i.e.
+        at most 2x the true value.
+
+        Returns ``None`` on an empty histogram.
+        """
+
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile q must be in [0, 1], got {q!r}")
+        total = self._count + len(self._raw)
+        if total == 0:
+            return None
+        rank = max(1, math.ceil(q * total))
+        points = [
+            (0.0 if key is None else 2.0 ** key, n)
+            for key, n in self.buckets.items()
+        ]
+        points.extend((value, 1) for value in self._raw)
+        points.sort(key=lambda p: p[0])
+        seen = 0
+        for value, n in points:
+            seen += n
+            if seen >= rank:
+                return value
+        return points[-1][0]
+
     def merge(self, other: "HistogramMetric") -> None:
         """Fold *other*'s tallies into this histogram (for absorb)."""
 

@@ -212,6 +212,63 @@ class TestSchedulerStatsSatellite:
         assert snap["scheduler.failed_pops_by_thread"]["thread=0"] == 1
 
 
+class TestHistogramQuantile:
+    def test_exact_before_folding(self):
+        h = MetricsRegistry().histogram("lat")
+        for v in range(1, 101):  # 1..100
+            h.observe(float(v))
+        assert h.quantile(0.5) == 50.0
+        assert h.quantile(0.95) == 95.0
+        assert h.quantile(0.99) == 99.0
+        assert h.quantile(0.0) == 1.0   # nearest-rank: rank clamps to 1
+        assert h.quantile(1.0) == 100.0
+
+    def test_empty_returns_none(self):
+        h = MetricsRegistry().histogram("lat")
+        assert h.quantile(0.5) is None
+
+    def test_out_of_range_raises(self):
+        h = MetricsRegistry().histogram("lat")
+        h.observe(1.0)
+        with pytest.raises(ValueError, match="quantile q"):
+            h.quantile(1.5)
+        with pytest.raises(ValueError, match="quantile q"):
+            h.quantile(-0.1)
+
+    def test_single_observation(self):
+        h = MetricsRegistry().histogram("lat")
+        h.observe(3.25)
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert h.quantile(q) == 3.25
+
+    def test_after_folding_within_bucket_bound(self):
+        h = MetricsRegistry().histogram("lat")
+        n = HistogramMetric._FOLD_AT + 100  # force at least one fold
+        for v in range(1, n + 1):
+            h.observe(float(v))
+        assert h._count > 0  # something actually folded
+        true_p50 = n // 2
+        estimate = h.quantile(0.5)
+        # Folded buckets answer at their upper power-of-two bound:
+        # conservative, but never more than 2x the true value.
+        assert true_p50 <= estimate <= 2 * true_p50
+
+    def test_quantile_does_not_fold(self):
+        h = MetricsRegistry().histogram("lat")
+        for v in (1.0, 2.0, 3.0):
+            h.observe(v)
+        before = list(h._raw)
+        h.quantile(0.95)
+        assert list(h._raw) == before
+
+    def test_underflow_bucket_counts_at_zero(self):
+        h = MetricsRegistry().histogram("lat")
+        h.observe(0.0)
+        h.observe(8.0)
+        assert h.quantile(0.0) == 0.0
+        assert h.quantile(1.0) == 8.0
+
+
 def test_metric_classes_exported():
     assert all(
         cls.__name__ in dir(__import__("repro.obs", fromlist=["obs"]))
