@@ -76,7 +76,10 @@ def nqueens_smpss(n: int, task_levels: int = DEFAULT_TASK_LEVELS):
             # the tracked array — tasks may still be consuming older
             # versions of it.
             if _legal(list(placed), col):
-                place_t(a, j, col)
+                # The renaming pressure on ``a`` is the entire point of
+                # this benchmark (section VI.E): every rename is an
+                # array copy OpenMP/Cilk programmers write by hand.
+                place_t(a, j, col)  # css: ignore[flow-renaming-pressure]
                 explore(j + 1, placed + (col,))
 
     explore(0, ())

@@ -16,15 +16,17 @@ position written) is required before any ``error`` is reported.
 
 Suppressions: a ``# css: ignore[rule, rule]`` comment on the offending
 line silences those rules for that line; placed on the ``def`` line, a
-decorator line, or the pragma line it silences them for the whole task.
-A bare ``# css: ignore`` silences everything.
+decorator line, or any line of the pragma block (continuation lines
+included) it silences them for the whole task; placed in the module
+header or docstring it silences them for the whole file.  A bare
+``# css: ignore`` silences everything.  Resolution is shared with
+``repro.check.flow`` via :mod:`repro.check.suppress`.
 """
 
 from __future__ import annotations
 
 import ast
-import re
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Optional, Sequence
 
@@ -37,6 +39,7 @@ from ..compiler.translate import (
 from ..core.pragma import ParsedPragma, PragmaError, parse_pragma
 from ..core.task import Direction
 from .findings import Finding
+from .suppress import SuppressionIndex
 
 __all__ = ["lint_source", "lint_file", "lint_paths", "TaskSite"]
 
@@ -76,32 +79,6 @@ _PURE_BUILTINS = frozenset({
     "sorted", "list", "tuple", "dict", "set", "frozenset", "id", "type",
     "iter", "next", "reversed", "hash", "format", "divmod",
 })
-
-
-# ---------------------------------------------------------------------------
-# Suppressions
-# ---------------------------------------------------------------------------
-
-_IGNORE_RE = re.compile(r"#\s*css:\s*ignore(?:\[(?P<rules>[^\]]*)\])?")
-
-#: sentinel meaning "every rule" (bare ``# css: ignore``).
-_ALL_RULES = "*"
-
-
-def _collect_suppressions(lines: Sequence[str]) -> dict[int, set[str]]:
-    """1-based line -> set of suppressed rule codes (or ``{'*'}``)."""
-
-    out: dict[int, set[str]] = {}
-    for idx, line in enumerate(lines, start=1):
-        match = _IGNORE_RE.search(line)
-        if match is None:
-            continue
-        rules = match.group("rules")
-        if rules is None:
-            out[idx] = {_ALL_RULES}
-        else:
-            out[idx] = {r.strip() for r in rules.split(",") if r.strip()}
-    return out
 
 
 # ---------------------------------------------------------------------------
@@ -202,7 +179,10 @@ def _discover(
             node = by_def_line.get(def_line)
             if node is None:
                 continue
-            scope = (pragma_line, def_line)
+            # The whole pragma block scopes suppressions: continuation
+            # lines and standalone comment lines between the pragma and
+            # its def all belong to the construct.
+            scope = tuple(range(pragma_line, def_line + 1))
             sites.append(
                 _make_site(node, payload, pragma_line, frozenset(), scope,
                            filename, findings)
@@ -329,6 +309,11 @@ class _BodyScan(ast.NodeVisitor):
                     self._locals.add((alias.asname or alias.name).split(".")[0])
             elif isinstance(node, ast.ExceptHandler) and node.name:
                 self._locals.add(node.name)
+            elif isinstance(node, (ast.MatchAs, ast.MatchStar)) and node.name:
+                # match-pattern captures bind without a Name/Store node
+                self._locals.add(node.name)
+            elif isinstance(node, ast.MatchMapping) and node.rest:
+                self._locals.add(node.rest)
         self._locals -= self._globals_declared
 
     # -- helpers -------------------------------------------------------
@@ -428,6 +413,44 @@ class _BodyScan(ast.NodeVisitor):
                     self._emit(target.id, target, _REBIND, "del")
             else:
                 self._mutation_target(target, "del")
+
+    def visit_NamedExpr(self, node: ast.NamedExpr) -> None:
+        # Walrus target: a plain-Name rebind (the grammar allows no
+        # subscript/attribute targets here).
+        target = node.target
+        if isinstance(target, ast.Name):
+            self._handled.add(id(target))
+            if target.id in self.params:
+                self._emit(target.id, target, _REBIND, "walrus assignment")
+        self.visit(node.value)
+
+    def visit_For(self, node: ast.For) -> None:
+        # `for a[i] in ...` / `for p, *rest in ...` assign through the
+        # target exactly like an Assign statement does.
+        self._assign_target(node.target, "for target")
+        self.visit(node.iter)
+        for stmt in node.body + node.orelse:
+            self.visit(stmt)
+
+    visit_AsyncFor = visit_For
+
+    def visit_Match(self, node: ast.Match) -> None:
+        self.visit(node.subject)
+        for case in node.cases:
+            for sub in ast.walk(case.pattern):
+                name = None
+                if isinstance(sub, (ast.MatchAs, ast.MatchStar)):
+                    name = sub.name
+                elif isinstance(sub, ast.MatchMapping):
+                    name = sub.rest
+                if name and name in self.params:
+                    self._emit(name, sub, _REBIND, "match capture")
+                elif isinstance(sub, ast.MatchValue):
+                    self.visit(sub.value)
+            if case.guard is not None:
+                self.visit(case.guard)
+            for stmt in case.body:
+                self.visit(stmt)
 
     # -- calls ---------------------------------------------------------
     def visit_Call(self, node: ast.Call) -> None:
@@ -652,11 +675,18 @@ def _lint_task(
 
     for p in params:
         events = scan.events[p]
+        # A rebound name no longer refers to the argument object (and a
+        # conditional rebind makes later writes unprovable either way),
+        # so the error rules only count writes before the first rebind.
+        first_rebind = next(
+            (i for i, ev in enumerate(events) if ev.kind == _REBIND), None
+        )
+        arg_writes = events if first_rebind is None else events[:first_rebind]
         dirs = directions.get(p)
         if dirs is None:
             # Undeclared: a by-value scalar to the runtime.  Reads are
             # fine; mutations race with every task touching the object.
-            for ev in events:
+            for ev in arg_writes:
                 if ev.kind == _WRITE:
                     findings.append(Finding(
                         filename, ev.line, ev.col, "undeclared-mutation",
@@ -671,7 +701,7 @@ def _lint_task(
         declared_writes = any(d.writes for d in dirs)
 
         if not declared_writes:
-            for ev in events:
+            for ev in arg_writes:
                 if ev.kind == _WRITE:
                     findings.append(Finding(
                         filename, ev.line, ev.col, "input-write",
@@ -733,20 +763,14 @@ def lint_source(
     for site in sites:
         _lint_task(site, filename, known_tasks, extra, findings)
 
-    # Apply suppressions.
-    lines = source.split("\n")
-    suppressions = _collect_suppressions(lines)
+    # Apply suppressions (resolver shared with repro.check.flow).
+    suppressions = SuppressionIndex.from_source(source, tree)
     scopes = {s.name: s.scope_lines + (s.pragma_line,) for s in sites}
 
-    def suppressed(f: Finding) -> bool:
-        lines_to_check = (f.line,) + scopes.get(f.task, ())
-        for line in lines_to_check:
-            rules = suppressions.get(line)
-            if rules and (_ALL_RULES in rules or f.rule in rules):
-                return True
-        return False
-
-    kept = [f for f in findings if not suppressed(f)]
+    kept = [
+        f for f in findings
+        if not suppressions.is_suppressed(f.rule, f.line, scopes.get(f.task, ()))
+    ]
     kept.sort(key=lambda f: (f.file, f.line, f.col, f.rule))
     return kept
 

@@ -70,6 +70,42 @@ RULES: dict[str, tuple[str, str]] = {
         "the pragma does not parse, or declares a parameter that is not "
         "in the function signature",
     ),
+    # -- whole-program rules (repro.check.flow) -------------------------
+    "flow-overlapping-writes": (
+        ERROR,
+        "two task submissions write overlapping array regions of the same "
+        "datum where neither region contains the other; partial-overlap "
+        "writes defeat renaming and the runtime's region chains",
+    ),
+    "flow-opaque-race": (
+        ERROR,
+        "a datum is passed opaque to one task and written through a "
+        "tracked (input/output/inout) parameter of another in the same "
+        "synchronisation epoch; the opaque access is invisible to the "
+        "dependency analysis and races against the write",
+    ),
+    "flow-missing-barrier": (
+        ERROR,
+        "driver code directly reads or writes a datum that a pending "
+        "task may still be writing (or reading, for driver writes) "
+        "without an intervening barrier() or wait_on()",
+    ),
+    "flow-dead-barrier": (
+        WARNING,
+        "a barrier is reached with provably zero tasks submitted since "
+        "the previous synchronisation point; it only costs latency",
+    ),
+    "flow-serialization": (
+        WARNING,
+        "nearly every task between two synchronisation points sits on a "
+        "single read-after-write chain through one datum; the region is "
+        "effectively serial",
+    ),
+    "flow-renaming-pressure": (
+        WARNING,
+        "a loop forces the runtime to rename the same datum many times; "
+        "every rename allocates a private buffer (paper section III)",
+    ),
 }
 
 

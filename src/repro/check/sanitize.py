@@ -21,7 +21,12 @@
 
 Violations are appended to :attr:`Sanitizer.findings` and, when the
 runtime traces, emitted as ``violation`` events so they land in
-exported traces next to the task that caused them.
+exported traces next to the task that caused them.  When the runtime
+collects metrics, every raising violation also increments the
+``check.violations`` counter (and each finding a per-rule
+``check.findings{rule=...}`` counter), so a ``repro.obs.health``
+scrape of a misbehaving run shows the sanitizer firing without
+needing the trace.
 
 Cost: one guarded view per read-only argument (cheap) plus one copy of
 each declared write region (can be large).  The sanitizer is a
@@ -162,8 +167,9 @@ class SanitizerFinding:
 class Sanitizer:
     """Per-runtime access sanitizer; thread-safe (workers call it)."""
 
-    def __init__(self, tracer=None):
+    def __init__(self, tracer=None, metrics=None):
         self._tracer = tracer
+        self._metrics = metrics
         self._lock = threading.Lock()
         self.findings: list[SanitizerFinding] = []
         #: violations that raised (also recorded in findings)
@@ -243,6 +249,8 @@ class Sanitizer:
     ) -> None:
         with self._lock:
             self.violations += 1
+        if self._metrics is not None:
+            self._metrics.counter("check.violations").inc()
         self._record(task, thread, exc.rule, exc.param, str(exc))
 
     def translate(
@@ -295,6 +303,8 @@ class Sanitizer:
         )
         with self._lock:
             self.findings.append(finding)
+        if self._metrics is not None:
+            self._metrics.counter("check.findings", rule=rule).inc()
         if self._tracer:
             self._tracer.violation(task, thread, rule, param)
 

@@ -57,6 +57,16 @@ _DEF_RE = re.compile(r"^(?P<indent>\s*)(?:async\s+)?def\s+\w+")
 _DECORATOR_RE = re.compile(r"^\s*@")
 _WAIT_ON_RE = re.compile(r"^\s*on\s*\((?P<expr>.+)\)\s*$")
 
+#: Trailing lint suppression on a pragma (or continuation) line.  It is
+#: resolved by :mod:`repro.check.suppress`, not pragma payload — without
+#: this strip a ``# css: ignore[...]`` on a pragma line would reach the
+#: clause parser and fail on the ``#``.
+_IGNORE_COMMENT_RE = re.compile(r"#\s*css:\s*ignore(?:\[[^\]]*\])?\s*$")
+
+
+def _strip_suppression(text: str) -> str:
+    return _IGNORE_COMMENT_RE.sub("", text).rstrip()
+
 
 class CompileError(SyntaxError):
     """A malformed ``#pragma css`` annotation."""
@@ -83,7 +93,7 @@ def _collect_pragma(lines: list[str], idx: int, filename: str) -> Optional[_Prag
     if match is None:
         return None
     kind = match.group("kind")
-    payload = match.group("rest").strip()
+    payload = _strip_suppression(match.group("rest").strip())
     last = idx
     # The paper writes multi-line pragmas with a trailing backslash;
     # each continuation is again a comment line.
@@ -99,7 +109,7 @@ def _collect_pragma(lines: list[str], idx: int, filename: str) -> Optional[_Prag
             raise CompileError(
                 "pragma continuation must be a comment line", last + 1, filename
             )
-        payload += " " + cont.group("body").strip()
+        payload += " " + _strip_suppression(cont.group("body").strip())
     return _Pragma(
         kind=kind,
         payload=payload,

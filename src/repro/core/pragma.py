@@ -119,6 +119,19 @@ class Expr:
         _collect_names(self.ast, found)
         return found
 
+    def evaluate_symbolic(self, env: dict):
+        """Evaluate over an arbitrary arithmetic domain.
+
+        Like :meth:`evaluate`, but *env* values may be any objects
+        implementing ``+ - * / %`` (e.g. the intervals of
+        :mod:`repro.check.intervals`); plain ints keep the exact C99
+        semantics of :meth:`evaluate`.  This is the symbolic-execution
+        hook the whole-program analyzer uses to resolve region bounds
+        under loop variables it has summarized rather than unrolled.
+        """
+
+        return _eval_symbolic(self.ast, env, self.source)
+
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.source
 
@@ -158,6 +171,48 @@ def _eval_ast(ast: tuple, env: dict, source: str):
             if right == 0:
                 raise PragmaError(f"division by zero evaluating {source!r}")
             return left - right * _eval_ast(("binop", "/", ("int", left), ("int", right)), env, source)
+    raise PragmaError(f"corrupt expression AST for {source!r}")  # pragma: no cover
+
+
+def _eval_symbolic(ast: tuple, env: dict, source: str):
+    """Evaluate an expression AST with domain-supplied arithmetic.
+
+    Integer operands keep C99 semantics (delegating to
+    :func:`_eval_ast`); anything else uses the operand's own operators,
+    so abstract domains (intervals) flow through transparently.
+    """
+
+    kind = ast[0]
+    if kind == "int":
+        return ast[1]
+    if kind == "name":
+        try:
+            return env[ast[1]]
+        except KeyError:
+            raise PragmaError(
+                f"expression {source!r} references unknown parameter {ast[1]!r}"
+            ) from None
+    if kind == "unary":
+        operand = _eval_symbolic(ast[2], env, source)
+        return -operand if ast[1] == "-" else +operand
+    if kind == "binop":
+        op = ast[1]
+        left = _eval_symbolic(ast[2], env, source)
+        right = _eval_symbolic(ast[3], env, source)
+        if isinstance(left, int) and isinstance(right, int):
+            return _eval_ast(
+                ("binop", op, ("int", left), ("int", right)), env, source
+            )
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            return left / right
+        if op == "%":
+            return left % right
     raise PragmaError(f"corrupt expression AST for {source!r}")  # pragma: no cover
 
 
@@ -304,6 +359,25 @@ class RegionSpec:
                 raise PragmaError(f"negative region length {length}")
             return (lo, lo + length - 1)
         return (lo, self.upper.evaluate(env))
+
+    def symbolic_bounds(self, env: dict, extent=None) -> Optional[tuple]:
+        """Resolve bounds over an arbitrary arithmetic domain.
+
+        Like :meth:`bounds`, but *env* values (and the returned pair)
+        may be abstract — e.g. :class:`repro.check.intervals.Interval`
+        objects standing for a summarized loop variable.  Returns
+        ``None`` for ``{}`` with unknown extent ("the whole dimension").
+        """
+
+        if self.full:
+            if extent is None:
+                return None
+            return (0, extent - 1)
+        assert self.lower is not None and self.upper is not None
+        lo = self.lower.evaluate_symbolic(env)
+        if self.is_length:
+            return (lo, lo + self.upper.evaluate_symbolic(env) - 1)
+        return (lo, self.upper.evaluate_symbolic(env))
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         if self.full:

@@ -126,6 +126,26 @@ class Region:
             out.append((lo, hi))
         return Region(tuple(out))
 
+    def hull(self, other: "Region") -> "Region":
+        """Smallest hyper-rectangle containing both regions.
+
+        This is the symbolic-execution hook used by ``repro.check.flow``
+        when it summarizes a loop it does not fully unroll: the
+        footprints of the folded iterations collapse into their bounding
+        box, which over-approximates every concrete access.  A rank
+        mismatch degrades to a FULL region — a safe superset of both.
+        """
+
+        if self.ndim != other.ndim:
+            return Region.full(max(self.ndim, other.ndim))
+        out = []
+        for (alo, ahi), (blo, bhi) in zip(self.intervals, other.intervals):
+            if (alo, ahi) == FULL_DIM or (blo, bhi) == FULL_DIM:
+                out.append(FULL_DIM)
+            else:
+                out.append((min(alo, blo), max(ahi, bhi)))
+        return Region(tuple(out))
+
     def element_count(self) -> Optional[int]:
         """Number of selected elements; ``None`` if any dim is FULL."""
 

@@ -42,12 +42,15 @@ from .analyze import (
     runtime_report,
 )
 from .diff import (
+    GraphDiff,
     TraceDiff,
     critical_chain,
     diff_figures,
     diff_metrics,
+    diff_task_graphs,
     diff_traces,
     render_figure_diff,
+    render_graph_diff,
     render_metrics_diff,
     render_trace_diff,
     write_diff_chrome_trace,
@@ -97,12 +100,15 @@ __all__ = [
     "to_chrome_trace",
     "write_chrome_trace",
     "write_dot",
+    "GraphDiff",
     "TraceDiff",
     "critical_chain",
     "diff_traces",
     "diff_metrics",
     "diff_figures",
+    "diff_task_graphs",
     "render_trace_diff",
+    "render_graph_diff",
     "render_metrics_diff",
     "render_figure_diff",
     "write_diff_chrome_trace",

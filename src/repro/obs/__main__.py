@@ -18,8 +18,10 @@ Usage::
 the full makespan-delta attribution (per-task-type shifts with
 bootstrap CIs, critical-path composition change, scheduler behaviour);
 ``*.metrics.json`` snapshots get per-series deltas; saved
-``FigureResult`` JSONs get per-point deltas.  ``--kind`` overrides the
-detection.
+``FigureResult`` JSONs get per-point deltas; ``repro.staticgraph`` /
+``repro.recording`` documents get a task/edge/stream structural diff
+(exit 1 when the graphs diverge — the static-vs-recorded validation
+loop of ``repro.check flow``).  ``--kind`` overrides the detection.
 
 ``serve`` exposes Prometheus text over the live transport — the
 process default registry, or a saved ``*.metrics.json`` with
@@ -38,12 +40,17 @@ from .analyze import analyze_events, load_chrome_trace, render_report
 
 
 def _detect_kind(doc) -> str:
-    """'trace' | 'metrics' | 'figure' from a parsed JSON document."""
+    """'trace' | 'metrics' | 'figure' | 'graph' from a parsed document."""
 
     if isinstance(doc, list):
         return "trace"  # bare traceEvents array
     if "traceEvents" in doc:
         return "trace"
+    if doc.get("format") in ("repro.recording", "repro.staticgraph"):
+        return "graph"
+    inner = doc.get("graph")
+    if isinstance(inner, dict) and inner.get("format") == "repro.staticgraph":
+        return "graph"  # `repro.check flow --format json` wrapper
     if "figure_id" in doc and "series" in doc:
         return "figure"
     return "metrics"
@@ -107,6 +114,10 @@ def _run_diff(args) -> int:
         )
         print(D.render_metrics_diff(deltas, label_a, label_b))
         return 0
+    if kind == "graph":
+        graph_diff = D.diff_task_graphs(docs[0], docs[1])
+        print(D.render_graph_diff(graph_diff, label_a, label_b))
+        return 0 if graph_diff.identical else 1
     print(D.render_figure_diff(D.diff_figures(docs[0], docs[1]),
                                label_a, label_b))
     return 0
@@ -171,12 +182,16 @@ def main(argv: list[str] | None = None) -> int:
     )
     diff = sub.add_parser(
         "diff",
-        help="what changed between two runs (traces, metrics, or figures)",
+        help="what changed between two runs "
+             "(traces, metrics, figures, or task graphs)",
     )
-    diff.add_argument("a", help="baseline file (trace/metrics/figure JSON)")
+    diff.add_argument(
+        "a", help="baseline file (trace/metrics/figure/graph JSON)"
+    )
     diff.add_argument("b", help="comparison file of the same kind")
     diff.add_argument(
-        "--kind", choices=("trace", "metrics", "figure"), default=None,
+        "--kind", choices=("trace", "metrics", "figure", "graph"),
+        default=None,
         help="file kind (default: auto-detect)",
     )
     diff.add_argument("--label-a", default=None, help="display name for A")

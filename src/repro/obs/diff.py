@@ -18,6 +18,11 @@ module is that workflow over the artifacts the repo already produces:
 * **figure diff** (`diff_figures`) — two saved ``FigureResult`` JSONs
   become per-series per-point deltas, the form ``repro.bench compare``
   gates on;
+* **task-graph diff** (`diff_task_graphs`) — a ``repro.staticgraph``
+  skeleton (``python -m repro.check flow --format json``) against a
+  ``repro.recording`` document (or any two of either) becomes a
+  task/edge/stream delta: the static analyser's predicted graph held
+  against the one the recording runtime actually built;
 * **side-by-side exports** — one Chrome trace with run A and run B as
   two processes (`write_diff_chrome_trace`), and a DOT rendering of
   both critical chains with entered/left nodes highlighted
@@ -49,15 +54,18 @@ __all__ = [
     "TraceDiff",
     "MetricDelta",
     "FigurePointDelta",
+    "GraphDiff",
     "collect_task_durations",
     "critical_chain",
     "bootstrap_mean_delta",
     "diff_traces",
     "diff_metrics",
     "diff_figures",
+    "diff_task_graphs",
     "render_trace_diff",
     "render_metrics_diff",
     "render_figure_diff",
+    "render_graph_diff",
     "diff_chrome_trace",
     "write_diff_chrome_trace",
     "diff_to_dot",
@@ -499,6 +507,147 @@ def diff_figures(doc_a: dict, doc_b: dict) -> list[FigurePointDelta]:
 
 
 # ---------------------------------------------------------------------------
+# task-graph diff (static skeleton vs recording)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class GraphDiff:
+    """Structural delta between two task-graph documents.
+
+    Task identity is positional: both ``repro.staticgraph`` (the flow
+    checker's skeleton) and ``repro.recording`` documents number tasks
+    from 1 in submission order, so task *i* in A corresponds to task
+    *i* in B and every divergence is attributable to a concrete
+    submission.
+    """
+
+    tasks_a: int
+    tasks_b: int
+    #: (task_id, name_in_a, name_in_b) where the same position differs.
+    name_mismatches: list[tuple[int, str, str]]
+    #: tasks present only in the longer document, as (id, name).
+    extra_a: list[tuple[int, str]]
+    extra_b: list[tuple[int, str]]
+    #: edges as (pred, succ, kind) present on one side only.
+    edges_only_a: list[tuple[int, int, str]]
+    edges_only_b: list[tuple[int, int, str]]
+    #: same (pred, succ) pair, different dependence kind.
+    kind_changes: list[tuple[int, int, str, str]]
+    edges_a: int
+    edges_b: int
+    barriers_a: int
+    barriers_b: int
+    waits_a: int
+    waits_b: int
+    #: rename counts; recordings do not carry one (None).
+    renames_a: Optional[int]
+    renames_b: Optional[int]
+    truncated_a: bool
+    truncated_b: bool
+
+    @property
+    def identical(self) -> bool:
+        """True when tasks, edges, and stream sync events all match."""
+
+        return not (
+            self.name_mismatches or self.extra_a or self.extra_b
+            or self.edges_only_a or self.edges_only_b or self.kind_changes
+            or self.barriers_a != self.barriers_b
+            or self.waits_a != self.waits_b
+        )
+
+
+def _graph_doc(doc: dict) -> dict:
+    # `python -m repro.check flow --format json` wraps the skeleton in
+    # {"findings": [...], "graph": {...}}; unwrap transparently.
+    inner = doc.get("graph")
+    if isinstance(inner, dict) and "tasks" in inner:
+        return inner
+    return doc
+
+
+def diff_task_graphs(doc_a: dict, doc_b: dict) -> GraphDiff:
+    """Diff two task-graph documents — static skeleton and/or recording.
+
+    Accepts any mix of ``repro.staticgraph`` documents (from
+    ``python -m repro.check flow --format json``, wrapper tolerated)
+    and ``repro.recording`` documents
+    (:meth:`RecordedProgram.to_json_dict`).  The two formats share the
+    ``tasks``/``edges``/``stream`` array layout precisely so that the
+    flow checker's prediction can be held against what the recording
+    runtime actually built: a clean diff validates the static
+    analysis, and any divergence points at the first submission whose
+    dependences the abstract interpreter got wrong.
+    """
+
+    doc_a, doc_b = _graph_doc(doc_a), _graph_doc(doc_b)
+
+    def labels(doc) -> list[tuple[int, str]]:
+        out = []
+        for row in doc.get("tasks", []):
+            tid, name = int(row[0]), str(row[1])
+            if len(row) > 2 and row[2]:
+                name += " [hp]"
+            out.append((tid, name))
+        return out
+
+    tasks_a, tasks_b = labels(doc_a), labels(doc_b)
+    by_id_a, by_id_b = dict(tasks_a), dict(tasks_b)
+    mismatches = [
+        (tid, by_id_a[tid], by_id_b[tid])
+        for tid in sorted(set(by_id_a) & set(by_id_b))
+        if by_id_a[tid] != by_id_b[tid]
+    ]
+    extra_a = [(t, n) for t, n in tasks_a if t not in by_id_b]
+    extra_b = [(t, n) for t, n in tasks_b if t not in by_id_a]
+
+    def edge_map(doc) -> dict[tuple[int, int], str]:
+        return {
+            (int(p), int(s)): str(kind)
+            for p, s, kind in doc.get("edges", [])
+        }
+
+    ea, eb = edge_map(doc_a), edge_map(doc_b)
+    edges_only_a = sorted((p, s, k) for (p, s), k in ea.items()
+                          if (p, s) not in eb)
+    edges_only_b = sorted((p, s, k) for (p, s), k in eb.items()
+                          if (p, s) not in ea)
+    kind_changes = sorted(
+        (p, s, ea[p, s], eb[p, s])
+        for (p, s) in set(ea) & set(eb)
+        if ea[p, s] != eb[p, s]
+    )
+
+    def stream_counts(doc) -> tuple[int, int]:
+        barriers = waits = 0
+        for event in doc.get("stream", []):
+            if event and event[0] == "barrier":
+                barriers += 1
+            elif event and event[0] == "wait":
+                waits += 1
+        return barriers, waits
+
+    barriers_a, waits_a = stream_counts(doc_a)
+    barriers_b, waits_b = stream_counts(doc_b)
+
+    def renames(doc) -> Optional[int]:
+        value = doc.get("renames")
+        return None if value is None else int(value)
+
+    return GraphDiff(
+        tasks_a=len(tasks_a), tasks_b=len(tasks_b),
+        name_mismatches=mismatches, extra_a=extra_a, extra_b=extra_b,
+        edges_only_a=edges_only_a, edges_only_b=edges_only_b,
+        kind_changes=kind_changes, edges_a=len(ea), edges_b=len(eb),
+        barriers_a=barriers_a, barriers_b=barriers_b,
+        waits_a=waits_a, waits_b=waits_b,
+        renames_a=renames(doc_a), renames_b=renames(doc_b),
+        truncated_a=bool(doc_a.get("truncated")),
+        truncated_b=bool(doc_b.get("truncated")),
+    )
+
+
+# ---------------------------------------------------------------------------
 # rendering
 # ---------------------------------------------------------------------------
 
@@ -635,6 +784,61 @@ def render_figure_diff(
             f"  {d.series:28s} @ {str(d.x):>6s}: {d.a:10.3f} -> {d.b:<10.3f}"
             f" ({d.pct:+.1f}%)"
         )
+    return "\n".join(lines)
+
+
+def render_graph_diff(
+    diff: GraphDiff,
+    label_a: str = "A",
+    label_b: str = "B",
+    limit: int = 25,
+) -> str:
+    lines = [f"== task-graph diff: {label_a} -> {label_b} =="]
+    lines.append(f"  tasks:    {diff.tasks_a} -> {diff.tasks_b}")
+    lines.append(f"  edges:    {diff.edges_a} -> {diff.edges_b}")
+    lines.append(
+        f"  barriers: {diff.barriers_a} -> {diff.barriers_b}"
+        f"    waits: {diff.waits_a} -> {diff.waits_b}"
+    )
+    if diff.renames_a is not None or diff.renames_b is not None:
+        fmt = lambda r: "n/a" if r is None else str(r)  # noqa: E731
+        lines.append(
+            f"  renames:  {fmt(diff.renames_a)} -> {fmt(diff.renames_b)}"
+        )
+    for side, flag in ((label_a, diff.truncated_a),
+                       (label_b, diff.truncated_b)):
+        if flag:
+            lines.append(f"  note: {side} is a truncated skeleton "
+                         "(analysis budget hit)")
+
+    def section(title: str, rows: list[str]) -> None:
+        if not rows:
+            return
+        lines.append(f"  {title} ({len(rows)}):")
+        lines.extend(f"    {row}" for row in rows[:limit])
+        if len(rows) > limit:
+            lines.append(f"    ... ({len(rows) - limit} more)")
+
+    section("tasks renamed", [
+        f"#{tid}: {a} -> {b}" for tid, a, b in diff.name_mismatches
+    ])
+    section(f"tasks only in {label_a}", [
+        f"#{tid} {name}" for tid, name in diff.extra_a
+    ])
+    section(f"tasks only in {label_b}", [
+        f"#{tid} {name}" for tid, name in diff.extra_b
+    ])
+    section(f"edges only in {label_a}", [
+        f"{p} -> {s} [{k}]" for p, s, k in diff.edges_only_a
+    ])
+    section(f"edges only in {label_b}", [
+        f"{p} -> {s} [{k}]" for p, s, k in diff.edges_only_b
+    ])
+    section("edge kind changed", [
+        f"{p} -> {s}: {ka} -> {kb}" for p, s, ka, kb in diff.kind_changes
+    ])
+    if diff.identical:
+        lines.append("  task graphs are structurally identical")
     return "\n".join(lines)
 
 

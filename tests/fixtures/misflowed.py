@@ -1,0 +1,143 @@
+"""Deliberately misflowed driver — one bug per whole-program rule.
+
+This file is a *flow fixture*: ``tests/test_check_flow.py`` runs
+``repro.check.flow`` over it and asserts that every seeded bug is
+reported exactly once (and nothing else).  It is never imported or
+executed — the abstract interpreter walks it symbolically.
+
+Each ``*_bug`` function below trips exactly one ``flow-*`` rule; the
+comment above the offending line names it.  The ``clean_*`` functions
+at the bottom must produce no findings.
+"""
+
+import numpy as np
+
+from repro import SmpssRuntime
+from repro.core.api import barrier, css_task
+
+
+@css_task("inout(data{i..j}) input(i, j)")
+def fill_t(data, i, j):
+    data[i : j + 1] = i
+
+
+@css_task("input(a) inout(acc)")
+def accum_t(a, acc):
+    acc += a.sum()
+
+
+@css_task("output(a)")
+def produce_t(a):
+    a[:] = 1.0
+
+
+@css_task("input(a)")
+def consume_t(a):
+    a.sum()
+
+
+@css_task("inout(rep) opaque(m) input(r)")
+def opaque_row_t(rep, m, r):
+    m[r] = m[r] * 2.0
+
+
+@css_task("inout(m)")
+def touch_all_t(m):
+    m += 1.0
+
+
+def overlapping_writes_bug():
+    # flow-overlapping-writes: the second fill writes {8..24}, which
+    # partially overlaps the first write {0..15} without either region
+    # containing the other.
+    data = np.zeros(32, np.float64)
+    fill_t(data, 0, 15)
+    fill_t(data, 8, 24)
+    barrier()
+
+
+def opaque_race_bug():
+    # flow-opaque-race: touch_all_t writes the matrix that
+    # opaque_row_t told the runtime to ignore, in the same epoch.
+    m = np.zeros((4, 8))
+    rep = np.zeros(1)
+    opaque_row_t(rep, m, 0)
+    touch_all_t(m)
+    barrier()
+
+
+def missing_barrier_bug():
+    # flow-missing-barrier: the driver reads a[0] while produce_t's
+    # write is still in flight.
+    a = np.zeros(4)
+    produce_t(a)
+    print(a[0])
+    barrier()
+
+
+def dead_barrier_bug():
+    a = np.zeros(4)
+    produce_t(a)
+    barrier()
+    # flow-dead-barrier: nothing was submitted since the barrier
+    # above, so this one provably synchronises nothing.
+    barrier()
+
+
+def serialization_bug():
+    # flow-serialization: six inout accumulations form one RAW chain
+    # that is 100% of the epoch — no parallelism to extract.
+    a = np.ones(8)
+    acc = np.zeros(1)
+    for _ in range(6):
+        accum_t(a, acc)
+    barrier()
+
+
+def renaming_pressure_bug():
+    # flow-renaming-pressure: every produce_t lands while the previous
+    # consume_t may still be reading, so the tracker renames ``a`` on
+    # each of the last nine iterations — past the advisory threshold.
+    a = np.zeros(16)
+    for _ in range(10):
+        produce_t(a)
+        consume_t(a)
+    barrier()
+
+
+def clean_pipeline():
+    # control: disjoint region writes run in parallel; the barrier
+    # lands before the driver read — nothing to report.
+    data = np.zeros(100, np.float64)
+    for i in range(0, 100, 10):
+        fill_t(data, i, i + 9)
+    barrier()
+    print(data.sum())
+
+
+def clean_chain():
+    # control: a short dependent chain is normal (below both the
+    # length and the dominance thresholds), and one rename is not
+    # pressure.
+    a = np.ones(8)
+    acc = np.zeros(1)
+    accum_t(a, acc)
+    accum_t(a, acc)
+    produce_t(a)
+    barrier()
+
+
+def main() -> None:
+    with SmpssRuntime(num_workers=2):
+        overlapping_writes_bug()
+        opaque_race_bug()
+        missing_barrier_bug()
+        dead_barrier_bug()
+        serialization_bug()
+        renaming_pressure_bug()
+        clean_pipeline()
+        clean_chain()
+
+
+if __name__ == "__main__":
+    main()

@@ -240,6 +240,51 @@ class TestTraceIntegration:
         assert ":90000008:" in rt.tracer.to_paraver()
 
 
+class TestMetricsIntegration:
+    def test_violations_counted_into_metrics(self):
+        @css_task("input(a)")
+        def bad(a):
+            a[0] = 1.0
+
+        rt = SmpssRuntime(num_workers=1, sanitize=True, metrics=True)
+        with pytest.raises(TaskExecutionError):
+            with rt:
+                bad(np.zeros(2))
+        snap = rt.metrics.snapshot()
+        assert snap["check.violations"] == 1
+        assert snap["check.findings"] == {"rule=input-write": 1}
+
+    def test_counter_visible_in_exposition(self):
+        # The counter must show up on the Prometheus page the health
+        # endpoint serves, so a scrape of a misbehaving run sees the
+        # sanitizer firing without the trace.
+        from repro.obs.exposition import render_registry
+
+        @css_task("input(a)")
+        def bad(a):
+            a[0] = 1.0
+
+        rt = SmpssRuntime(num_workers=1, sanitize=True, metrics=True)
+        with pytest.raises(TaskExecutionError):
+            with rt:
+                bad(np.zeros(2))
+        text = render_registry(rt.metrics)
+        assert "repro_check_violations 1" in text
+        assert 'repro_check_findings{rule="input-write"} 1' in text
+
+    def test_metrics_off_no_counter(self):
+        @css_task("input(a)")
+        def bad(a):
+            a[0] = 1.0
+
+        rt = SmpssRuntime(num_workers=1, sanitize=True, metrics=False)
+        with pytest.raises(TaskExecutionError):
+            with rt:
+                bad(np.zeros(2))
+        assert rt.sanitizer.violations == 1
+        assert "check.violations" not in rt.metrics.snapshot()
+
+
 class TestGuardMechanics:
     def test_guard_is_view_not_copy(self):
         base = np.arange(6.0)

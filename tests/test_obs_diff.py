@@ -20,9 +20,11 @@ from repro.obs.diff import (
     critical_chain,
     diff_figures,
     diff_metrics,
+    diff_task_graphs,
     diff_to_dot,
     diff_traces,
     render_figure_diff,
+    render_graph_diff,
     render_metrics_diff,
     render_trace_diff,
     write_diff_chrome_trace,
@@ -194,6 +196,82 @@ class TestMetricsAndFigureDiff:
         assert "SMPSs" in render_figure_diff(deltas)
 
 
+def _static_doc(**overrides):
+    doc = {
+        "format": "repro.staticgraph",
+        "version": 1,
+        "source": "driver.py",
+        "entry": None,
+        "truncated": False,
+        "renames": 1,
+        "tasks": [[1, "produce", 0], [2, "consume", 0], [3, "produce", 0]],
+        "edges": [[1, 2, "true"]],
+        "stream": [["task", 1], ["task", 2], ["task", 3], ["barrier"]],
+        "details": [],
+    }
+    doc.update(overrides)
+    return doc
+
+
+def _recording_doc(**overrides):
+    doc = {
+        "format": "repro.recording",
+        "version": 1,
+        "tasks": [[1, "produce", 0], [2, "consume", 0], [3, "produce", 0]],
+        "edges": [[1, 2, "true"]],
+        "stream": [["task", 1], ["task", 2], ["task", 3], ["barrier"]],
+    }
+    doc.update(overrides)
+    return doc
+
+
+class TestGraphDiff:
+    def test_identical_static_vs_recording(self):
+        diff = diff_task_graphs(_static_doc(), _recording_doc())
+        assert diff.identical
+        assert diff.tasks_a == diff.tasks_b == 3
+        assert diff.renames_a == 1 and diff.renames_b is None
+        text = render_graph_diff(diff, "static", "recorded")
+        assert "structurally identical" in text
+
+    def test_divergences_attributed(self):
+        recorded = _recording_doc(
+            tasks=[[1, "produce", 0], [2, "consume", 0], [3, "gemm", 0],
+                   [4, "consume", 0]],
+            edges=[[1, 2, "true"], [2, 3, "anti"]],
+        )
+        diff = diff_task_graphs(_static_doc(), recorded)
+        assert not diff.identical
+        assert diff.name_mismatches == [(3, "produce", "gemm")]
+        assert diff.extra_b == [(4, "consume")]
+        assert diff.edges_only_b == [(2, 3, "anti")]
+        text = render_graph_diff(diff)
+        assert "#3: produce -> gemm" in text
+        assert "2 -> 3 [anti]" in text
+
+    def test_edge_kind_change(self):
+        diff = diff_task_graphs(
+            _static_doc(), _recording_doc(edges=[[1, 2, "anti"]])
+        )
+        assert diff.kind_changes == [(1, 2, "true", "anti")]
+
+    def test_flow_cli_wrapper_unwrapped(self):
+        # `python -m repro.check flow --format json` wraps the skeleton.
+        wrapped = {"findings": [], "graph": _static_doc()}
+        diff = diff_task_graphs(wrapped, _recording_doc())
+        assert diff.identical
+
+    def test_stream_sync_counts(self):
+        diff = diff_task_graphs(
+            _static_doc(),
+            _recording_doc(stream=[["task", 1], ["task", 2], ["task", 3],
+                                   ["barrier"], ["wait", 3]]),
+        )
+        assert not diff.identical
+        assert (diff.barriers_a, diff.barriers_b) == (1, 1)
+        assert (diff.waits_a, diff.waits_b) == (0, 1)
+
+
 class TestDiffCli:
     def _write_traces(self, tmp_path):
         from repro.obs.export import write_chrome_trace
@@ -264,3 +342,18 @@ class TestDiffCli:
 
         assert main(["diff", str(tmp_path / "nope.json"),
                      str(tmp_path / "nope2.json")]) == 1
+
+    def test_graph_diff_cli(self, tmp_path, capsys):
+        from repro.obs.__main__ import main
+
+        a = tmp_path / "static.json"
+        b = tmp_path / "recorded.json"
+        a.write_text(json.dumps(_static_doc()))
+        b.write_text(json.dumps(_recording_doc()))
+        assert main(["diff", str(a), str(b)]) == 0
+        assert "structurally identical" in capsys.readouterr().out
+
+        # Divergence is the diff's failure mode: exit 1.
+        b.write_text(json.dumps(_recording_doc(edges=[])))
+        assert main(["diff", str(a), str(b)]) == 1
+        assert "edges only in" in capsys.readouterr().out
