@@ -1,0 +1,86 @@
+"""The unified command line: ``python -m repro <command>``.
+
+One front door for every tool in the package::
+
+    python -m repro lint src/repro/apps          # annotation linter
+    python -m repro flow driver.py --format json # whole-program flow
+    python -m repro obs report trace.json        # trace analysis
+    python -m repro bench --help                 # figure harness
+    python -m repro live attach tcp:...          # live inspection
+    python -m repro serve tcp:127.0.0.1:7070     # task-graph service
+
+Conventions shared by every command: machine output via ``--json`` /
+``--format json`` where the command produces findings, exit 0 on
+success, 1 on findings/failure, 2 on usage errors.
+
+The historical per-module forms (``python -m repro.check lint``,
+``python -m repro.obs``, ``python -m repro.bench``, ``python -m
+repro.live``, ``python -m repro.serve``) keep working as aliases —
+they print a pointer to this entry point on stderr and behave
+identically otherwise.
+"""
+
+from __future__ import annotations
+
+import sys
+
+_USAGE = """\
+usage: python -m repro <command> [args...]
+
+commands:
+  lint    check task bodies against their pragmas (repro.check lint)
+  flow    whole-program dependency-flow analysis (repro.check flow)
+  obs     trace reports, diffs, metrics exposition (repro.obs)
+  bench   the figure/benchmark harness (repro.bench)
+  live    live task-graph inspection and replay (repro.live)
+  serve   the multi-tenant task-graph service daemon (repro.serve)
+
+`python -m repro <command> --help` shows that command's options.
+"""
+
+#: command -> (module with a ``main(argv) -> int``, argv prefix)
+COMMANDS = {
+    "lint": ("repro.check.__main__", ["lint"]),
+    "flow": ("repro.check.__main__", ["flow"]),
+    "check": ("repro.check.__main__", []),
+    "obs": ("repro.obs.__main__", []),
+    "bench": ("repro.bench.__main__", []),
+    "live": ("repro.live.__main__", []),
+    "serve": ("repro.serve.__main__", []),
+}
+
+
+def deprecation_note(module: str, command: str) -> None:
+    """One-line pointer printed by the legacy ``-m repro.X`` forms."""
+
+    print(
+        f"note: `python -m {module}` is an alias; the unified entry "
+        f"point is `python -m repro {command}`",
+        file=sys.stderr,
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in ("-h", "--help", "help"):
+        print(_USAGE, end="")
+        return 0 if argv else 2
+    if argv[0] == "--version":
+        import repro
+
+        print(f"repro {repro.__version__}")
+        return 0
+    command, rest = argv[0], argv[1:]
+    entry = COMMANDS.get(command)
+    if entry is None:
+        print(f"unknown command {command!r}\n\n{_USAGE}", file=sys.stderr, end="")
+        return 2
+    module_name, prefix = entry
+    import importlib
+
+    module = importlib.import_module(module_name)
+    return module.main(prefix + rest)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -794,3 +794,113 @@ def backend_scaling(
         f"per worker count; startup (fork/spawn) excluded from timings"
     )
     return fig
+
+
+# ---------------------------------------------------------------------------
+# Service throughput (PR 9): concurrent tenants on one shared fleet
+# ---------------------------------------------------------------------------
+
+@css_task("input(a, b) inout(c)")
+def _service_gemm_t(a, b, c):
+    c += a @ b
+
+
+def service_throughput(
+    clients: tuple = (1, 2, 4),
+    graphs_per_client: int = 12,
+    tasks_per_graph: int = 8,
+    n: int = 48,
+    workers: int = 4,
+    shards: int = 16,
+    seed: int = 0,
+) -> FigureResult:
+    """Graphs/sec served at N concurrent client sessions.
+
+    One :class:`~repro.serve.ServeDaemon` (W thread workers, S tracker
+    shards) serves every point; each client thread opens its own
+    tenant session and submits ``graphs_per_client`` graphs of
+    ``tasks_per_graph`` independent gemm tasks over its own data, so
+    tenants share nothing but the fleet.  Series: absolute graphs/sec
+    (higher is better) and the throughput ratio over the 1-client run
+    — the ratio is the portable sharding-decontention signal, the
+    absolute number is host-bound.  Every client verifies its results
+    against a sequential oracle, so throughput never counts wrong
+    answers.
+    """
+
+    import os as _os
+    import threading as _threading
+
+    from ..serve import ServeDaemon, connect as _serve_connect
+
+    rng = np.random.default_rng(seed)
+    a0 = rng.standard_normal((n, n))
+    b0 = rng.standard_normal((n, n))
+    oracle = np.zeros((n, n))
+    for _ in range(tasks_per_graph):
+        oracle += a0 @ b0
+
+    throughput: list[float] = []
+    with ServeDaemon(
+        "tcp:127.0.0.1:0", workers=workers, shards=shards
+    ) as daemon:
+        for num_clients in clients:
+            errors: list = []
+            start_gate = _threading.Event()
+
+            def run_client(index: int) -> None:
+                try:
+                    a, b = a0.copy(), b0.copy()
+                    c = np.zeros((n, n))
+                    with _serve_connect(
+                        daemon.address, tenant=f"bench-{num_clients}-{index}"
+                    ) as rt:
+                        start_gate.wait(30.0)
+                        for _ in range(graphs_per_client):
+                            c[...] = 0.0
+                            for _ in range(tasks_per_graph):
+                                _service_gemm_t(a, b, c)
+                            rt.barrier()
+                    if not np.allclose(c, oracle):
+                        raise AssertionError(
+                            f"client {index}: served result diverged"
+                        )
+                except Exception as exc:  # noqa: BLE001 - re-raised below
+                    errors.append(exc)
+
+            threads = [
+                _threading.Thread(target=run_client, args=(i,))
+                for i in range(num_clients)
+            ]
+            for thread in threads:
+                thread.start()
+            t0 = time.perf_counter()
+            start_gate.set()
+            for thread in threads:
+                thread.join()
+            elapsed = time.perf_counter() - t0
+            if errors:
+                raise errors[0]
+            throughput.append(num_clients * graphs_per_client / elapsed)
+
+    fig = FigureResult(
+        "Service throughput",
+        f"Concurrent tenants on one {workers}-worker fleet "
+        f"({shards} tracker shards, gemm n={n})",
+        "concurrent clients",
+        "graphs/sec (higher is better)",
+        list(clients),
+    )
+    fig.add("graphs/sec", throughput)
+    fig.add(
+        "throughput vs 1 client",
+        [t / throughput[0] for t in throughput],
+    )
+    fig.extras["cpu_count"] = _os.cpu_count()
+    fig.extras["workers"] = workers
+    fig.extras["shards"] = shards
+    fig.notes.append(
+        f"host cpu_count={_os.cpu_count()}; every client's results "
+        f"verified against the sequential oracle before counting"
+    )
+    return fig

@@ -35,6 +35,7 @@ FIGURES = {
     "fig16": "fig16_nqueens_scalability",
     "micro": "micro_submission_throughput",
     "backend": "backend_scaling",
+    "service": "service_throughput",
 }
 
 #: Reduced-scale parameters for ``--quick`` (laptop/CI smoke runs).
@@ -48,6 +49,9 @@ QUICK_PARAMS = {
     "fig16": dict(n=9, threads=(1, 2, 4, 8)),
     "micro": dict(tasks=1500, inner_repeats=2),
     "backend": dict(n=64, block=32, workers=(1, 2, 4)),
+    "service": dict(
+        clients=(1, 2), graphs_per_client=5, tasks_per_graph=4, n=24
+    ),
 }
 
 

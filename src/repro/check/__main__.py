@@ -171,4 +171,7 @@ def _run_flow(args, parser, select, ignore) -> int:
 
 
 if __name__ == "__main__":
+    from repro.__main__ import deprecation_note
+
+    deprecation_note("repro.check", "lint|flow")
     raise SystemExit(main())

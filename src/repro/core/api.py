@@ -40,60 +40,110 @@ __all__ = [
 ]
 
 
-# The active-runtime stack.  The programming model is single-main-thread
-# (the paper's main program), so a plain module-level stack suffices;
-# the guard catches accidental multi-thread submission.
-_stack: list = []
-_stack_owner: Optional[int] = None
-_stack_lock = threading.Lock()
+# The active-runtime stack, kept PER THREAD.  The programming model is
+# single-main-thread (the paper's main program) — and with per-thread
+# stacks every thread that enters a runtime is the main program of its
+# own submission stream, which is what lets many served sessions
+# (:mod:`repro.serve`) run concurrently in one process.  A css_task
+# call on a thread with no active runtime simply runs sequentially,
+# exactly as before.
+#
+# Runtimes that own process-global resources (SmpssRuntime and the
+# recorder share one task-id counter; the mp backend forks a worker
+# fleet) additionally hold the process-wide *exclusive* slot below, so
+# the historical guard — one in-process runtime at a time, entered and
+# driven from one thread — still fires for them.  A runtime opts out
+# by setting class attribute ``exclusive = False`` (served sessions:
+# they keep no process-global state, all their ids live server-side).
+_tls = threading.local()
+_exclusive_lock = threading.Lock()
+_exclusive_owner: Optional[int] = None
+_exclusive_depth = 0
+
+
+def _thread_stack() -> list:
+    stack = getattr(_tls, "stack", None)
+    if stack is None:
+        stack = _tls.stack = []
+    return stack
 
 
 def current_runtime():
-    """The innermost active runtime, or ``None`` (sequential mode)."""
+    """The innermost runtime active on *this thread*, or ``None``
+    (sequential mode)."""
 
-    return _stack[-1] if _stack else None
+    stack = getattr(_tls, "stack", None)
+    return stack[-1] if stack else None
 
 
 def push_runtime(runtime) -> None:
-    global _stack_owner
-    with _stack_lock:
-        owner = threading.get_ident()
-        if _stack and _stack_owner != owner:
-            raise RuntimeError(
-                "a runtime is already active on another thread; the SMPSs "
-                "main program is single-threaded"
-            )
-        _stack_owner = owner
-        _stack.append(runtime)
+    global _exclusive_owner, _exclusive_depth
+    if getattr(runtime, "exclusive", True):
+        with _exclusive_lock:
+            owner = threading.get_ident()
+            if _exclusive_depth and _exclusive_owner != owner:
+                raise RuntimeError(
+                    "a runtime is already active on another thread; the "
+                    "SMPSs main program is single-threaded"
+                )
+            _exclusive_owner = owner
+            _exclusive_depth += 1
+    _thread_stack().append(runtime)
+
+
+def _release_exclusive(runtime) -> None:
+    global _exclusive_owner, _exclusive_depth
+    if getattr(runtime, "exclusive", True):
+        with _exclusive_lock:
+            _exclusive_depth -= 1
+            if _exclusive_depth <= 0:
+                _exclusive_depth = 0
+                _exclusive_owner = None
 
 
 def pop_runtime(runtime) -> None:
-    global _stack_owner
-    with _stack_lock:
-        if not _stack or _stack[-1] is not runtime:
-            raise RuntimeError("runtime stack corruption: mismatched pop")
-        _stack.pop()
-        if not _stack:
-            _stack_owner = None
+    stack = getattr(_tls, "stack", None)
+    if not stack or stack[-1] is not runtime:
+        raise RuntimeError("runtime stack corruption: mismatched pop")
+    stack.pop()
+    _release_exclusive(runtime)
 
 
 def discard_runtime(runtime) -> None:
-    """Remove *runtime* from the stack wherever it sits; never raises.
+    """Remove *runtime* from this thread's stack wherever it sits;
+    never raises.
 
     The defensive complement of :func:`pop_runtime`: runtimes call it
     from ``__exit__`` so that an exception unwinding mid-``with`` (or a
     shutdown that died before its own pop) cannot leave a dead stack
-    entry — and with it a stale ``_stack_owner`` that would wedge every
+    entry — and with it a stale exclusive slot that would wedge every
     later runtime behind the single-main-thread guard.  A no-op when
     the runtime is not on the stack.
     """
 
-    global _stack_owner
-    with _stack_lock:
-        while runtime in _stack:
-            _stack.remove(runtime)
-        if not _stack:
-            _stack_owner = None
+    stack = getattr(_tls, "stack", None)
+    if not stack:
+        return
+    while runtime in stack:
+        stack.remove(runtime)
+        _release_exclusive(runtime)
+
+
+def _neutralise_stack() -> None:
+    """Forked-child disarm: drop every inherited runtime activation.
+
+    Called by the mp worker entry point right after ``fork`` — the
+    child must look sequential regardless of what the master's forking
+    thread had active, and the exclusive slot must be free.
+    """
+
+    global _exclusive_owner, _exclusive_depth, _tls, _exclusive_lock
+    _tls = threading.local()
+    # Rebound, not acquired: another master thread could have held the
+    # lock at fork time, and a copied held lock never unlocks.
+    _exclusive_lock = threading.Lock()
+    _exclusive_owner = None
+    _exclusive_depth = 0
 
 
 def barrier() -> None:

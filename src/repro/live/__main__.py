@@ -268,4 +268,7 @@ def main(argv=None) -> int:
 
 
 if __name__ == "__main__":
+    from repro.__main__ import deprecation_note
+
+    deprecation_note("repro.live", "live")
     raise SystemExit(main())

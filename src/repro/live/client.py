@@ -1,162 +1,40 @@
 """Client side of the live protocol (used by the CLI and by tests).
 
-Deliberately single-threaded: every byte is read inside :meth:`recv`,
-and a command waits for its own ``ack`` by seq while parking any
-interleaved graph deltas on an internal buffer that later ``recv``
-calls serve first.  That makes scripted sessions deterministic — there
-is no background reader racing the assertions.
+A thin wrapper over :class:`repro.net.Client` — deliberately
+single-threaded: every byte is read inside :meth:`recv`, and a command
+waits for its own ``ack`` by seq while parking any interleaved graph
+deltas on an internal buffer that later ``recv`` calls serve first.
+That makes scripted sessions deterministic — there is no background
+reader racing the assertions.
+
+This module only adds the live plane's command verbs (pause/resume/
+step/break/state) and keeps the historical exception names as aliases
+of the shared transport's.
 """
 
 from __future__ import annotations
 
-import socket
-from typing import Callable, Optional
+from typing import Optional
 
-from .protocol import connect, decode, encode
+from ..net.client import Client, NetClosed, NetTimeout
 
 __all__ = ["LiveClient", "LiveTimeout", "LiveClosed"]
 
-
-class LiveTimeout(TimeoutError):
-    """No record arrived within the requested window."""
-
-
-class LiveClosed(ConnectionError):
-    """The server ended the stream (``bye``) or dropped the socket."""
+#: Historical names: every existing caller catches these; they ARE the
+#: shared transport exceptions, so either spelling works everywhere.
+LiveTimeout = NetTimeout
+LiveClosed = NetClosed
 
 
-class LiveClient:
+class LiveClient(Client):
     """Attach to a live session; stream deltas; drive the gate."""
 
     def __init__(self, address: str, timeout: float = 10.0):
-        self.address = address
-        self.timeout = timeout
-        self._sock: Optional[socket.socket] = connect(address, timeout)
-        self._buffer = b""
-        self._pending: list[dict] = []
-        self._seq = 0
-        self._closed = False
-        self.hello = self._recv_raw(timeout)
-        if self.hello.get("ev") != "hello":
-            # Tolerate a server that streams immediately: keep whatever
-            # came first for the caller.
-            self._pending.append(self.hello)
-            self.hello = {}
+        super().__init__(address, timeout=timeout, expect_hello=True)
 
     # ------------------------------------------------------------------
-    # receiving
+    # live-plane command verbs
     # ------------------------------------------------------------------
-    def recv(self, timeout: Optional[float] = None) -> dict:
-        """Next record (buffered deltas first).  Raises
-        :class:`LiveTimeout` / :class:`LiveClosed`."""
-
-        if self._pending:
-            return self._pending.pop(0)
-        return self._recv_raw(self.timeout if timeout is None else timeout)
-
-    def _recv_raw(self, timeout: float) -> dict:
-        sock = self._sock
-        if sock is None:
-            raise LiveClosed("connection already closed")
-        sock.settimeout(timeout)
-        while True:
-            while b"\n" in self._buffer:
-                line, self._buffer = self._buffer.split(b"\n", 1)
-                record = decode(line)
-                if record is None:
-                    continue
-                if record.get("ev") == "bye":
-                    self.close()
-                    raise LiveClosed("server ended the stream")
-                return record
-            try:
-                chunk = sock.recv(65536)
-            except (TimeoutError, socket.timeout):
-                raise LiveTimeout(
-                    f"no record within {timeout:.1f}s from {self.address}"
-                ) from None
-            except OSError as exc:
-                self.close()
-                raise LiveClosed(str(exc)) from None
-            if not chunk:
-                self.close()
-                raise LiveClosed("server closed the connection")
-            self._buffer += chunk
-
-    def drain(self, idle: float = 0.2, limit: int = 100000) -> list[dict]:
-        """Collect records until the stream goes quiet for *idle*
-        seconds (or *limit* records arrive).
-
-        *idle* must stay below the server's snapshot interval
-        (``live_snapshot_interval``, default 0.25s) — the periodic
-        snapshots would otherwise keep an idle stream "busy" forever.
-
-        A stream that ends mid-drain (the run finished and the server
-        said ``bye``) is not an error here: whatever arrived before the
-        goodbye is returned, and the next explicit :meth:`recv` or
-        :meth:`command` raises :class:`LiveClosed`.
-        """
-
-        records: list[dict] = []
-        while len(records) < limit:
-            try:
-                records.append(self.recv(timeout=idle))
-            except LiveTimeout:
-                break
-            except LiveClosed:
-                break
-        return records
-
-    def wait_for(
-        self, predicate: Callable[[dict], bool], timeout: float = 30.0
-    ) -> dict:
-        """Consume records until *predicate* matches one; returns it.
-
-        Records consumed on the way are gone — feed them to a dashboard
-        inside *predicate* if they matter.
-        """
-
-        import time
-
-        deadline = time.monotonic() + timeout
-        while True:
-            remaining = deadline - time.monotonic()
-            if remaining <= 0:
-                raise LiveTimeout(
-                    f"predicate not satisfied within {timeout:.1f}s"
-                )
-            record = self.recv(timeout=remaining)
-            if predicate(record):
-                return record
-
-    # ------------------------------------------------------------------
-    # commands
-    # ------------------------------------------------------------------
-    def command(self, cmd: str, **fields) -> dict:
-        """Send a command; block for its ack; return the ack's data.
-
-        Deltas that arrive before the ack are buffered for
-        :meth:`recv`.  A ``not ok`` ack raises ``RuntimeError``.
-        """
-
-        sock = self._sock
-        if sock is None:
-            raise LiveClosed("connection already closed")
-        self._seq += 1
-        seq = self._seq
-        record = {"cmd": cmd, "seq": seq}
-        record.update(fields)
-        sock.sendall(encode(record))
-        while True:
-            reply = self._recv_raw(self.timeout)
-            if reply.get("ev") == "ack" and reply.get("seq") == seq:
-                if not reply.get("ok"):
-                    raise RuntimeError(
-                        f"command {cmd!r} failed: {reply.get('error')}"
-                    )
-                return reply.get("data", {})
-            self._pending.append(reply)
-
     def pause(self) -> dict:
         return self.command("pause")
 
@@ -184,31 +62,5 @@ class LiveClient:
     def ping(self) -> dict:
         return self.command("ping")
 
-    # ------------------------------------------------------------------
-    # lifecycle
-    # ------------------------------------------------------------------
-    def detach(self) -> None:
-        """Orderly goodbye (the server drops only this connection)."""
-
-        sock = self._sock
-        if sock is not None and not self._closed:
-            try:
-                sock.sendall(encode({"cmd": "detach"}))
-            except OSError:
-                pass
-        self.close()
-
-    def close(self) -> None:
-        self._closed = True
-        sock, self._sock = self._sock, None
-        if sock is not None:
-            try:
-                sock.close()
-            except OSError:
-                pass
-
     def __enter__(self) -> "LiveClient":
         return self
-
-    def __exit__(self, exc_type, exc, tb) -> None:
-        self.detach()

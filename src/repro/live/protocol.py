@@ -51,9 +51,19 @@ which means a unix-domain socket.
 
 from __future__ import annotations
 
-import json
-import socket
 from typing import Optional
+
+# The wire helpers live in repro.net.protocol (shared with repro.obs
+# and repro.serve); re-exported here so every historical import path
+# (`from repro.live.protocol import encode`) keeps working.
+from ..net.protocol import (  # noqa: F401 - re-exports
+    PROTOCOL_VERSION,
+    connect,
+    decode,
+    encode,
+    format_address,
+    parse_address,
+)
 
 __all__ = [
     "PROTOCOL_VERSION",
@@ -64,63 +74,6 @@ __all__ = [
     "connect",
     "event_to_delta",
 ]
-
-PROTOCOL_VERSION = 1
-
-
-def encode(record: dict) -> bytes:
-    """One wire line for *record* (compact separators, trailing LF)."""
-
-    return json.dumps(record, separators=(",", ":")).encode() + b"\n"
-
-
-def decode(line) -> Optional[dict]:
-    """Parse one wire line; ``None`` for blank/unparseable lines."""
-
-    if not line:
-        return None
-    try:
-        record = json.loads(line)
-    except ValueError:
-        return None
-    return record if isinstance(record, dict) else None
-
-
-def parse_address(spec: str) -> tuple:
-    """``"tcp:HOST:PORT"`` -> ``("tcp", host, port)``; anything else is
-    a unix-socket path -> ``("unix", path)``."""
-
-    if spec.startswith("tcp:"):
-        rest = spec[4:]
-        host, sep, port = rest.rpartition(":")
-        if not sep or not host:
-            raise ValueError(
-                f"bad tcp address {spec!r}; expected tcp:HOST:PORT"
-            )
-        return ("tcp", host, int(port))
-    return ("unix", spec)
-
-
-def format_address(parsed: tuple) -> str:
-    if parsed[0] == "tcp":
-        return f"tcp:{parsed[1]}:{parsed[2]}"
-    return parsed[1]
-
-
-def connect(spec: str, timeout: Optional[float] = None) -> socket.socket:
-    """Client-side connect to a server address spec."""
-
-    parsed = parse_address(spec)
-    if parsed[0] == "tcp":
-        sock = socket.create_connection(
-            (parsed[1], parsed[2]), timeout=timeout
-        )
-    else:
-        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-        if timeout is not None:
-            sock.settimeout(timeout)
-        sock.connect(parsed[1])
-    return sock
 
 
 # ---------------------------------------------------------------------------

@@ -1,4 +1,5 @@
-"""The live session's socket server (one background accept thread).
+"""The live session's socket server — a thin wrapper over
+:class:`repro.net.Server`.
 
 Serves the JSON-lines stream described in :mod:`repro.live.protocol`:
 every accepted client first receives the ``hello`` record and the full
@@ -10,21 +11,22 @@ the resulting ``ack`` goes only to that client.
 Publishing happens on the *caller's* thread (the session's publisher
 drain loop) — a slow or dead client never blocks the runtime itself,
 only the publisher, and a client whose socket errors is dropped.
+
+All of that behaviour lives in the shared transport
+(:mod:`repro.net.server`); this class only pins the live plane's
+thread naming.
 """
 
 from __future__ import annotations
 
-import os
-import socket
-import threading
 from typing import Callable, Optional
 
-from .protocol import encode, decode, format_address, parse_address
+from ..net.server import Server
 
 __all__ = ["LiveServer"]
 
 
-class LiveServer:
+class LiveServer(Server):
     """Bind, accept, fan out deltas, and route commands.
 
     *handler* is ``fn(cmd: dict) -> dict`` returning the ``data`` for a
@@ -40,279 +42,10 @@ class LiveServer:
         hello: Optional[dict] = None,
         http_responder: Optional[Callable] = None,
     ):
-        self._handler = handler
-        self._hello = dict(hello or {})
-        self._hello["ev"] = "hello"
-        #: Optional ``fn(handler, path) -> bytes`` serving plain HTTP
-        #: GETs (the health exposition endpoint passes its Prometheus
-        #: router here).  When set, the hello/backlog replay is
-        #: *deferred* until the first client bytes identify the
-        #: protocol — an HTTP client must not receive JSON lines ahead
-        #: of its response.  ``None`` (every live session) keeps the
-        #: original send-hello-on-accept behaviour.
-        self._http_responder = http_responder
-        parsed = parse_address(address)
-        self._unix_path: Optional[str] = None
-        if parsed[0] == "tcp":
-            self._sock = socket.create_server(
-                (parsed[1], parsed[2]), reuse_port=False
-            )
-            host, port = self._sock.getsockname()[:2]
-            self.address = format_address(("tcp", parsed[1], port))
-        else:
-            path = parsed[1]
-            try:
-                os.unlink(path)
-            except OSError:
-                pass
-            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-            self._sock.bind(path)
-            self._sock.listen()
-            self._unix_path = path
-            self.address = path
-        self._lock = threading.Lock()
-        self._clients: list[socket.socket] = []
-        #: Per-client write locks: the publisher thread (deltas) and the
-        #: client's reader thread (command acks) both write to the same
-        #: socket, and two concurrent ``sendall`` calls may interleave
-        #: *partial* writes — silently corrupting the line framing.
-        self._wlocks: dict[socket.socket, threading.Lock] = {}
-        self._history: list[bytes] = []
-        self._closed = False
-        self._threads: list[threading.Thread] = []
-        self._accept_thread = threading.Thread(
-            target=self._accept_loop, name="repro-live-accept", daemon=True
+        super().__init__(
+            address,
+            handler,
+            hello=hello,
+            http_responder=http_responder,
+            name="repro-live",
         )
-        self._accept_thread.start()
-
-    # ------------------------------------------------------------------
-    # publishing (called from the session's publisher thread)
-    # ------------------------------------------------------------------
-    def publish(self, record: dict, retain: bool = True) -> None:
-        """Send *record* to every connected client.
-
-        ``retain`` keeps the line in the history replayed to future
-        attachers — structural deltas retain, periodic snapshots do not
-        (a fresh one follows within the snapshot interval anyway).
-        """
-
-        line = encode(record)
-        with self._lock:
-            if self._closed:
-                return
-            if retain:
-                self._history.append(line)
-            clients = list(self._clients)
-        for client in clients:
-            self._send(client, line)
-
-    def _send(self, client: socket.socket, line: bytes) -> None:
-        lock = self._wlocks.get(client)
-        if lock is None:
-            return  # concurrently dropped; nothing to write to
-        try:
-            with lock:
-                client.sendall(line)
-        except OSError:
-            self._drop(client)
-
-    def _drop(self, client: socket.socket) -> None:
-        with self._lock:
-            if client in self._clients:
-                self._clients.remove(client)
-            self._wlocks.pop(client, None)
-        try:
-            client.close()
-        except OSError:
-            pass
-
-    @property
-    def client_count(self) -> int:
-        with self._lock:
-            return len(self._clients)
-
-    # ------------------------------------------------------------------
-    # accepting / command routing
-    # ------------------------------------------------------------------
-    def _accept_loop(self) -> None:
-        while True:
-            try:
-                client, _addr = self._sock.accept()
-            except OSError:
-                return  # listening socket closed
-            with self._lock:
-                if self._closed:
-                    client.close()
-                    return
-                backlog = list(self._history)
-                # Register *before* replay is complete would interleave
-                # live lines into the backlog out of order, so replay
-                # happens while holding the lock — attach is rare and
-                # the backlog bounded by the graph size.  With an HTTP
-                # responder the replay is deferred to the reader thread
-                # (after protocol sniffing) instead.
-                if self._http_responder is None:
-                    try:
-                        client.sendall(
-                            encode(self._hello) + b"".join(backlog)
-                        )
-                    except OSError:
-                        client.close()
-                        continue
-                self._clients.append(client)
-                self._wlocks[client] = threading.Lock()
-            reader = threading.Thread(
-                target=self._client_loop,
-                args=(client,),
-                name="repro-live-client",
-                daemon=True,
-            )
-            self._threads.append(reader)
-            reader.start()
-
-    def _client_loop(self, client: socket.socket) -> None:
-        buffer = b""
-        if self._http_responder is not None:
-            handled, buffer = self._sniff_http(client)
-            if handled:
-                return
-        while True:
-            # Drain complete lines first: the protocol sniff may have
-            # buffered the client's first command already, and a recv
-            # before processing it would deadlock a request/reply
-            # client waiting for its ack.
-            while b"\n" in buffer:
-                line, buffer = buffer.split(b"\n", 1)
-                command = decode(line)
-                if command is None:
-                    continue
-                if command.get("cmd") == "detach":
-                    self._send(client, encode({"ev": "bye"}))
-                    self._drop(client)
-                    return
-                self._send(client, encode(self._run(command)))
-            try:
-                chunk = client.recv(65536)
-            except OSError:
-                chunk = b""
-            if not chunk:
-                self._drop(client)
-                return
-            buffer += chunk
-
-    def _sniff_http(self, client: socket.socket) -> tuple[bool, bytes]:
-        """Identify the client's protocol from its first bytes.
-
-        Returns ``(True, b"")`` after serving (and closing) an HTTP
-        ``GET``/``HEAD``; otherwise sends the deferred hello + backlog
-        replay and returns ``(False, buffered_bytes)`` for the JSON
-        loop to continue with.
-        """
-
-        buffer = b""
-        while len(buffer) < 5:
-            try:
-                chunk = client.recv(65536)
-            except OSError:
-                chunk = b""
-            if not chunk:
-                self._drop(client)
-                return True, b""
-            buffer += chunk
-        if buffer.startswith(b"GET ") or buffer.startswith(b"HEAD "):
-            # Drain the request head (best effort; one request per
-            # connection, Connection: close semantics).
-            while b"\r\n\r\n" not in buffer and len(buffer) < 65536:
-                try:
-                    chunk = client.recv(65536)
-                except OSError:
-                    break
-                if not chunk:
-                    break
-                buffer += chunk
-            request_line = buffer.split(b"\r\n", 1)[0].decode(
-                "latin-1", "replace"
-            )
-            parts = request_line.split()
-            path = parts[1] if len(parts) > 1 else "/"
-            try:
-                response = self._http_responder(self._handler, path)
-            except Exception as exc:  # noqa: BLE001 - report, don't die
-                body = str(exc).encode("utf-8", "replace")
-                response = (
-                    b"HTTP/1.1 500 Internal Server Error\r\n"
-                    b"Content-Type: text/plain\r\n"
-                    b"Content-Length: " + str(len(body)).encode() +
-                    b"\r\nConnection: close\r\n\r\n" + body
-                )
-            lock = self._wlocks.get(client)
-            try:
-                if lock is not None:
-                    with lock:
-                        client.sendall(response)
-            except OSError:
-                pass
-            self._drop(client)
-            return True, b""
-        # JSON-lines client: deliver the deferred hello + backlog now.
-        with self._lock:
-            backlog = list(self._history)
-        try:
-            lock = self._wlocks.get(client)
-            if lock is not None:
-                with lock:
-                    client.sendall(encode(self._hello) + b"".join(backlog))
-        except OSError:
-            self._drop(client)
-            return True, b""
-        return False, buffer
-
-    def _run(self, command: dict) -> dict:
-        ack = {
-            "ev": "ack",
-            "seq": command.get("seq"),
-            "cmd": command.get("cmd"),
-        }
-        try:
-            ack["data"] = self._handler(command)
-            ack["ok"] = True
-        except Exception as exc:  # noqa: BLE001 - reported to the client
-            ack["ok"] = False
-            ack["error"] = str(exc)
-        return ack
-
-    # ------------------------------------------------------------------
-    # lifecycle
-    # ------------------------------------------------------------------
-    def close(self) -> None:
-        with self._lock:
-            if self._closed:
-                return
-            self._closed = True
-            clients = list(self._clients)
-            self._clients.clear()
-        bye = encode({"ev": "bye"})
-        for client in clients:
-            # Reader threads may still be writing acks: take the same
-            # per-client write lock so the goodbye cannot splice into
-            # the middle of another line.
-            lock = self._wlocks.pop(client, None) or threading.Lock()
-            try:
-                with lock:
-                    client.sendall(bye)
-            except OSError:
-                pass
-            try:
-                client.shutdown(socket.SHUT_RDWR)
-            except OSError:
-                pass
-            client.close()
-        try:
-            self._sock.close()
-        except OSError:
-            pass
-        if self._unix_path is not None:
-            try:
-                os.unlink(self._unix_path)
-            except OSError:
-                pass

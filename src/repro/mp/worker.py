@@ -57,9 +57,7 @@ def _neutralise_inherited_state() -> None:
 
     from ..core import api as _api
 
-    _api._stack = []
-    _api._stack_owner = None
-    _api._stack_lock = threading.Lock()
+    _api._neutralise_stack()
 
     # Workers never own shared-memory segments, so none of their
     # attachments may reach the (fork-shared) resource tracker: a

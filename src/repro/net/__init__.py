@@ -1,0 +1,42 @@
+"""Shared socket transport for every networked repro surface.
+
+One wire format — one JSON object per line, UTF-8, ``\n``-terminated —
+served and consumed by one :class:`Server`/:class:`Client` pair.  The
+live inspection plane (:mod:`repro.live`), the Prometheus exposition
+endpoint (:mod:`repro.obs`), and the task-graph service
+(:mod:`repro.serve`) are all thin wrappers over this module; none of
+them owns sockets of its own.
+
+The server optionally *sniffs* the first bytes of each connection and
+hands plain HTTP ``GET``/``HEAD`` requests to an ``http_responder``
+callback, so one port can serve both the JSON-lines protocol and a
+browser/Prometheus scrape.
+
+Addresses take two forms: ``tcp:HOST:PORT`` (PORT ``0`` binds an
+ephemeral port; the server reports the real one) or a filesystem path,
+which means a unix-domain socket.
+"""
+
+from .client import Client, NetClosed, NetTimeout
+from .protocol import (
+    PROTOCOL_VERSION,
+    connect,
+    decode,
+    encode,
+    format_address,
+    parse_address,
+)
+from .server import Server
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "Client",
+    "NetClosed",
+    "NetTimeout",
+    "Server",
+    "connect",
+    "decode",
+    "encode",
+    "format_address",
+    "parse_address",
+]

@@ -1,0 +1,201 @@
+"""Client side of the JSON-lines protocol (used by CLIs and tests).
+
+Deliberately single-threaded: every byte is read inside :meth:`recv`,
+and a command waits for its own ``ack`` by seq while parking any
+interleaved event records on an internal buffer that later ``recv``
+calls serve first.  That makes scripted sessions deterministic — there
+is no background reader racing the assertions.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Callable, Optional
+
+from .protocol import connect, decode, encode
+
+__all__ = ["Client", "NetTimeout", "NetClosed"]
+
+
+class NetTimeout(TimeoutError):
+    """No record arrived within the requested window."""
+
+
+class NetClosed(ConnectionError):
+    """The server ended the stream (``bye``) or dropped the socket."""
+
+
+class Client:
+    """Attach to a JSON-lines server; stream records; send commands.
+
+    ``expect_hello=True`` (every live/obs surface) reads the server's
+    ``hello`` record in the constructor.  Servers that sniff the
+    protocol from the client's first bytes defer their hello until the
+    client has spoken — those clients pass ``expect_hello=False`` and
+    pick the hello out of the stream after their first command.
+    """
+
+    def __init__(
+        self,
+        address: str,
+        timeout: float = 10.0,
+        expect_hello: bool = True,
+    ):
+        self.address = address
+        self.timeout = timeout
+        self._sock: Optional[socket.socket] = connect(address, timeout)
+        self._buffer = b""
+        self._pending: list[dict] = []
+        self._seq = 0
+        self._closed = False
+        self.hello: dict = {}
+        if expect_hello:
+            self.hello = self._recv_raw(timeout)
+            if self.hello.get("ev") != "hello":
+                # Tolerate a server that streams immediately: keep
+                # whatever came first for the caller.
+                self._pending.append(self.hello)
+                self.hello = {}
+
+    # ------------------------------------------------------------------
+    # receiving
+    # ------------------------------------------------------------------
+    def recv(self, timeout: Optional[float] = None) -> dict:
+        """Next record (buffered events first).  Raises
+        :class:`NetTimeout` / :class:`NetClosed`."""
+
+        if self._pending:
+            return self._pending.pop(0)
+        return self._recv_raw(self.timeout if timeout is None else timeout)
+
+    def _recv_raw(self, timeout: float) -> dict:
+        sock = self._sock
+        if sock is None:
+            raise NetClosed("connection already closed")
+        sock.settimeout(timeout)
+        while True:
+            while b"\n" in self._buffer:
+                line, self._buffer = self._buffer.split(b"\n", 1)
+                record = decode(line)
+                if record is None:
+                    continue
+                if record.get("ev") == "bye":
+                    self.close()
+                    raise NetClosed("server ended the stream")
+                return record
+            try:
+                chunk = sock.recv(65536)
+            except (TimeoutError, socket.timeout):
+                raise NetTimeout(
+                    f"no record within {timeout:.1f}s from {self.address}"
+                ) from None
+            except OSError as exc:
+                self.close()
+                raise NetClosed(str(exc)) from None
+            if not chunk:
+                self.close()
+                raise NetClosed("server closed the connection")
+            self._buffer += chunk
+
+    def drain(self, idle: float = 0.2, limit: int = 100000) -> list[dict]:
+        """Collect records until the stream goes quiet for *idle*
+        seconds (or *limit* records arrive).
+
+        *idle* must stay below any periodic record interval the server
+        has (the live plane's snapshots default to 0.25s) — periodic
+        records would otherwise keep an idle stream "busy" forever.
+
+        A stream that ends mid-drain (the run finished and the server
+        said ``bye``) is not an error here: whatever arrived before the
+        goodbye is returned, and the next explicit :meth:`recv` or
+        :meth:`command` raises :class:`NetClosed`.
+        """
+
+        records: list[dict] = []
+        while len(records) < limit:
+            try:
+                records.append(self.recv(timeout=idle))
+            except NetTimeout:
+                break
+            except NetClosed:
+                break
+        return records
+
+    def wait_for(
+        self, predicate: Callable[[dict], bool], timeout: float = 30.0
+    ) -> dict:
+        """Consume records until *predicate* matches one; returns it.
+
+        Records consumed on the way are gone — feed them to a dashboard
+        inside *predicate* if they matter.
+        """
+
+        import time
+
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise NetTimeout(
+                    f"predicate not satisfied within {timeout:.1f}s"
+                )
+            record = self.recv(timeout=remaining)
+            if predicate(record):
+                return record
+
+    # ------------------------------------------------------------------
+    # commands
+    # ------------------------------------------------------------------
+    def command(self, cmd: str, **fields) -> dict:
+        """Send a command; block for its ack; return the ack's data.
+
+        Events that arrive before the ack are buffered for
+        :meth:`recv`.  A ``not ok`` ack raises ``RuntimeError``.
+        """
+
+        sock = self._sock
+        if sock is None:
+            raise NetClosed("connection already closed")
+        self._seq += 1
+        seq = self._seq
+        record = {"cmd": cmd, "seq": seq}
+        record.update(fields)
+        sock.sendall(encode(record))
+        while True:
+            reply = self._recv_raw(self.timeout)
+            if reply.get("ev") == "ack" and reply.get("seq") == seq:
+                if not reply.get("ok"):
+                    raise RuntimeError(
+                        f"command {cmd!r} failed: {reply.get('error')}"
+                    )
+                return reply.get("data", {})
+            self._pending.append(reply)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def detach(self) -> None:
+        """Orderly goodbye (the server drops only this connection)."""
+
+        sock = self._sock
+        if sock is not None and not self._closed:
+            try:
+                sock.sendall(encode({"cmd": "detach"}))
+            except OSError:
+                pass
+        self.close()
+
+    def close(self) -> None:
+        self._closed = True
+        sock, self._sock = self._sock, None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.detach()

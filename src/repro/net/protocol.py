@@ -1,0 +1,89 @@
+"""Wire helpers shared by every JSON-lines surface.
+
+One JSON object per line, UTF-8, ``\n``-terminated, in both
+directions.  Servers stream event records (``ev`` field); clients send
+small command objects (``cmd`` field plus a client-chosen ``seq``) and
+correlate replies by ``seq``.  Two records are protocol-level rather
+than application-level:
+
+``ack``
+    Reply to one command: ``seq``, ``cmd``, ``ok``, ``data`` | ``error``.
+``bye``
+    Orderly end of stream.
+
+Addresses take two forms: ``tcp:HOST:PORT`` (PORT ``0`` binds an
+ephemeral port; the server reports the real one) or a filesystem path,
+which means a unix-domain socket.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Optional
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "encode",
+    "decode",
+    "parse_address",
+    "format_address",
+    "connect",
+]
+
+PROTOCOL_VERSION = 1
+
+
+def encode(record: dict) -> bytes:
+    """One wire line for *record* (compact separators, trailing LF)."""
+
+    return json.dumps(record, separators=(",", ":")).encode() + b"\n"
+
+
+def decode(line) -> Optional[dict]:
+    """Parse one wire line; ``None`` for blank/unparseable lines."""
+
+    if not line:
+        return None
+    try:
+        record = json.loads(line)
+    except ValueError:
+        return None
+    return record if isinstance(record, dict) else None
+
+
+def parse_address(spec: str) -> tuple:
+    """``"tcp:HOST:PORT"`` -> ``("tcp", host, port)``; anything else is
+    a unix-socket path -> ``("unix", path)``."""
+
+    if spec.startswith("tcp:"):
+        rest = spec[4:]
+        host, sep, port = rest.rpartition(":")
+        if not sep or not host:
+            raise ValueError(
+                f"bad tcp address {spec!r}; expected tcp:HOST:PORT"
+            )
+        return ("tcp", host, int(port))
+    return ("unix", spec)
+
+
+def format_address(parsed: tuple) -> str:
+    if parsed[0] == "tcp":
+        return f"tcp:{parsed[1]}:{parsed[2]}"
+    return parsed[1]
+
+
+def connect(spec: str, timeout: Optional[float] = None) -> socket.socket:
+    """Client-side connect to a server address spec."""
+
+    parsed = parse_address(spec)
+    if parsed[0] == "tcp":
+        sock = socket.create_connection(
+            (parsed[1], parsed[2]), timeout=timeout
+        )
+    else:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        if timeout is not None:
+            sock.settimeout(timeout)
+        sock.connect(parsed[1])
+    return sock

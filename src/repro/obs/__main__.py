@@ -260,4 +260,7 @@ def main(argv: list[str] | None = None) -> int:
 
 
 if __name__ == "__main__":
+    from repro.__main__ import deprecation_note
+
+    deprecation_note("repro.obs", "obs")
     raise SystemExit(main())

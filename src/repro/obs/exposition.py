@@ -2,9 +2,9 @@
 
 The health layer's outward-facing surface: render a
 :class:`~repro.obs.metrics.MetricsRegistry` (or a saved snapshot) in
-the Prometheus text format, and serve it over the existing
-:class:`repro.live.server.LiveServer` transport.  A scrape works two
-ways over the same socket:
+the Prometheus text format, and serve it over the shared
+:class:`repro.net.Server` transport.  A scrape works two ways over
+the same socket:
 
 * the JSON-lines protocol every other live surface speaks —
   ``{"cmd": "metrics", "seq": 1}`` answered with the text in the ack
@@ -42,6 +42,7 @@ __all__ = [
     "CONTENT_TYPE",
     "render_registry",
     "render_snapshot",
+    "build_http_response",
     "ExpositionServer",
     "scrape",
 ]
@@ -229,14 +230,15 @@ class ExpositionServer:
         self._monitor = monitor
         self._registry = registry
         self._snapshot = snapshot
-        from ..live.server import LiveServer  # local import: obs must
-        # not hard-depend on live at module import time
+        from ..net.server import Server  # local import: obs must not
+        # hard-depend on the transport at module import time
 
-        self._server = LiveServer(
+        self._server = Server(
             address,
             self._handle,
             hello={"service": "repro.obs.health"},
             http_responder=http_response_for,
+            name="repro-obs",
         )
         self.address = self._server.address
 
@@ -292,7 +294,7 @@ def scrape(address: str, timeout: float = 5.0, command: str = "metrics"):
     HTTP client against the same address.
     """
 
-    from ..live.protocol import connect, decode, encode
+    from ..net.protocol import connect, decode, encode
 
     sock = connect(address, timeout=timeout)
     try:
@@ -325,7 +327,10 @@ def scrape(address: str, timeout: float = 5.0, command: str = "metrics"):
         sock.close()
 
 
-def _http_body_parts(status: str, content_type: str, body: bytes):
+def build_http_response(status: str, content_type: str, body: bytes) -> bytes:
+    """One complete ``Connection: close`` HTTP response (used by every
+    surface that serves plain GETs over the shared transport)."""
+
     head = (
         f"HTTP/1.1 {status}\r\n"
         f"Content-Type: {content_type}\r\n"
@@ -333,6 +338,10 @@ def _http_body_parts(status: str, content_type: str, body: bytes):
         f"Connection: close\r\n\r\n"
     ).encode("latin-1")
     return head + body
+
+
+# Historical internal name.
+_http_body_parts = build_http_response
 
 
 def http_response_for(handler, path: str) -> bytes:

@@ -1,0 +1,41 @@
+"""``repro.serve`` — the task-graph service.
+
+A long-running daemon owns ONE worker fleet (thread or process
+backend) and serves task-graph submissions from many concurrent
+client sessions.  The programming model is unchanged: a driver swaps
+``SmpssRuntime(...)`` for :func:`connect` and every ``@css_task``
+call, ``barrier()`` and ``wait_on()`` inside the block is executed by
+the service, with results written back bitwise-identically.
+
+Layout:
+
+* :mod:`~repro.serve.daemon` — the asyncio front door (sessions,
+  ``/metrics``, ``/metrics/<tenant>``, ``/health`` over one port);
+* :mod:`~repro.serve.engine` — the shared fleet: sharded dependency
+  tracking (one lock per shard, tenants on different shards never
+  contend) and per-tenant admission control (graph-size, memory,
+  in-flight caps → 429-style :class:`GraphRejected`);
+* :mod:`~repro.serve.session` — the client: deferred-batch submission
+  over the JSON-lines wire;
+* :mod:`~repro.serve.protocol` — datum/value/task encodings;
+* :mod:`~repro.serve.errors` — the structured error taxonomy.
+
+Run a daemon with ``python -m repro serve tcp:127.0.0.1:7070`` and see
+``docs/service.md`` for the full tour.
+"""
+
+from .daemon import ServeDaemon
+from .engine import ServeEngine, ServiceLimits
+from .errors import GraphRejected, RemoteGraphError, ServeError
+from .session import ServeSession, connect
+
+__all__ = [
+    "GraphRejected",
+    "RemoteGraphError",
+    "ServeDaemon",
+    "ServeEngine",
+    "ServeError",
+    "ServeSession",
+    "ServiceLimits",
+    "connect",
+]

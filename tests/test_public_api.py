@@ -188,6 +188,33 @@ class TestConfigConstruction:
 # ---------------------------------------------------------------------------
 
 class TestDeprecationShims:
+    def test_shim_table_is_audited(self):
+        """Every surviving shim is deliberate: the table holds exactly
+        the moved names still referenced in the wild (PR 9 audit —
+        unreferenced shims were deleted, referenced ones stay tested)."""
+
+        import repro.core.runtime as runtime_mod
+
+        assert sorted(runtime_mod._DEPRECATED_HOMES) == ["RuntimeConfig"]
+
+    def test_every_surviving_shim_warns_and_resolves(self):
+        import importlib
+
+        import repro.core.runtime as runtime_mod
+
+        for name, (home, obj) in runtime_mod._DEPRECATED_HOMES.items():
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                shimmed = getattr(runtime_mod, name)
+            # The shim hands out the SAME object as the new home.
+            assert shimmed is obj
+            assert getattr(importlib.import_module(home), name) is obj
+            assert any(
+                issubclass(w.category, DeprecationWarning)
+                and home in str(w.message)
+                for w in caught
+            ), name
+
     def test_runtimeconfig_old_home_warns_and_works(self):
         import repro.core.runtime as runtime_mod
 
@@ -299,8 +326,9 @@ class TestDefensiveExit:
             with make_runtime():
                 raise RuntimeError("boom")
         assert _api.current_runtime() is None
-        assert _api._stack == []
-        assert _api._stack_owner is None
+        assert _api._thread_stack() == []
+        assert _api._exclusive_depth == 0
+        assert _api._exclusive_owner is None
         # The regression this guards: a stale owner wedged every later
         # runtime behind the single-main-thread guard.  A fresh runtime
         # must enter cleanly.
