@@ -34,6 +34,7 @@ commands:
   bench   the figure/benchmark harness (repro.bench)
   live    live task-graph inspection and replay (repro.live)
   serve   the multi-tenant task-graph service daemon (repro.serve)
+  dist    node agents for the distributed backend (repro.dist)
 
 `python -m repro <command> --help` shows that command's options.
 """
@@ -47,6 +48,7 @@ COMMANDS = {
     "bench": ("repro.bench.__main__", []),
     "live": ("repro.live.__main__", []),
     "serve": ("repro.serve.__main__", []),
+    "dist": ("repro.dist.__main__", []),
 }
 
 

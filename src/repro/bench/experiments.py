@@ -904,3 +904,112 @@ def service_throughput(
         f"verified against the sequential oracle before counting"
     )
     return fig
+
+
+# ---------------------------------------------------------------------------
+# Distributed throughput (PR 10): residency cache over repeat submissions
+# ---------------------------------------------------------------------------
+
+@css_task("input(a, b) output(c)")
+def _dist_mul_t(a, b, c):
+    np.multiply(a, b, out=c)
+
+
+@css_task("input(c) inout(acc)")
+def _dist_accum_t(c, acc):
+    acc += c
+
+
+def dist_throughput(
+    submissions: int = 4,
+    tiles: int = 8,
+    n: int = 96,
+    nodes: int = 2,
+    slots: int = 2,
+    seed: int = 0,
+) -> FigureResult:
+    """Bytes shipped and tasks/sec per repeat submission on a cluster.
+
+    Two localhost node agents serve one master; the workload multiplies
+    ``tiles`` fixed input pairs and accumulates, ``submissions`` times
+    in a row inside one session.  The first submission pays to ship
+    every input to the nodes; later ones reference the resident copies
+    (``dist.cache_hits``), so the per-submission ``dist.bytes_moved``
+    delta must drop — that drop is the figure, and the experiment
+    asserts it outright along with a numpy oracle on the final result.
+    Absolute tasks/sec is host- and loopback-bound; the bytes series is
+    the portable signal.
+    """
+
+    import os as _os
+
+    from ..dist import AgentServer
+
+    rng = np.random.default_rng(seed)
+    A = [rng.standard_normal((n, n)) for _ in range(tiles)]
+    B = [rng.standard_normal((n, n)) for _ in range(tiles)]
+    oracle = np.zeros((n, n))
+    for a, b in zip(A, B):
+        oracle += a * b
+
+    servers = [
+        AgentServer("tcp:127.0.0.1:0", slots=slots).start()
+        for _ in range(nodes)
+    ]
+    bytes_per_sub: list[float] = []
+    hits_per_sub: list[float] = []
+    rate_per_sub: list[float] = []
+    try:
+        with SmpssRuntime(
+            backend="cluster", nodes=[s.address for s in servers]
+        ) as rt:
+            m = rt.metrics
+            acc = None
+            for _ in range(submissions):
+                b0 = m.counter("dist.bytes_moved").value
+                h0 = m.counter("dist.cache_hits").value
+                t0 = time.perf_counter()
+                acc = np.zeros((n, n))
+                for a, b in zip(A, B):
+                    c = np.empty((n, n))
+                    _dist_mul_t(a, b, c)
+                    _dist_accum_t(c, acc)
+                rt.barrier()
+                elapsed = time.perf_counter() - t0
+                bytes_per_sub.append(
+                    (m.counter("dist.bytes_moved").value - b0) / 1e6
+                )
+                hits_per_sub.append(m.counter("dist.cache_hits").value - h0)
+                rate_per_sub.append(2 * tiles / elapsed)
+            if not np.allclose(acc, oracle):
+                raise AssertionError("cluster result diverged from oracle")
+    finally:
+        for server in servers:
+            server.close()
+
+    if not all(b < bytes_per_sub[0] for b in bytes_per_sub[1:]):
+        raise AssertionError(
+            f"residency cache bought nothing: bytes/submission "
+            f"{bytes_per_sub}"
+        )
+
+    fig = FigureResult(
+        "Distributed residency throughput",
+        f"{nodes} localhost agents x {slots} slots, {tiles} gemm tiles "
+        f"(n={n}) per submission",
+        "submission",
+        "MB shipped (lower is better)",
+        list(range(1, submissions + 1)),
+    )
+    fig.add("MB moved", bytes_per_sub)
+    fig.add("cache hits", hits_per_sub)
+    fig.add("tasks/sec", rate_per_sub)
+    fig.extras["cpu_count"] = _os.cpu_count()
+    fig.extras["nodes"] = nodes
+    fig.extras["slots"] = slots
+    fig.notes.append(
+        f"host cpu_count={_os.cpu_count()}; final accumulator verified "
+        f"against the numpy oracle; submissions after the first must "
+        f"ship fewer bytes (asserted)"
+    )
+    return fig

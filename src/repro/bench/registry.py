@@ -36,6 +36,7 @@ FIGURES = {
     "micro": "micro_submission_throughput",
     "backend": "backend_scaling",
     "service": "service_throughput",
+    "dist": "dist_throughput",
 }
 
 #: Reduced-scale parameters for ``--quick`` (laptop/CI smoke runs).
@@ -52,6 +53,7 @@ QUICK_PARAMS = {
     "service": dict(
         clients=(1, 2), graphs_per_client=5, tasks_per_graph=4, n=24
     ),
+    "dist": dict(submissions=3, tiles=4, n=48, nodes=2, slots=2),
 }
 
 

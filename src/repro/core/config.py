@@ -78,8 +78,29 @@ class RuntimeConfig:
     #: GIL-releasing kernels); ``"processes"`` runs them in long-lived
     #: forked worker processes fed over pipes (:mod:`repro.mp` — true
     #: parallelism for pure-Python bodies; pass shared data as
-    #: arena-backed arrays, see :func:`repro.arena_array`).
+    #: arena-backed arrays, see :func:`repro.arena_array`); ``"cluster"``
+    #: dispatches ready tasks to remote node agents (:mod:`repro.dist`)
+    #: listed in ``nodes``, with datum residency tracking so content
+    #: moves only when a consumer actually needs it elsewhere.
     backend: str = "threads"
+    #: Agent addresses for ``backend="cluster"``: a list of
+    #: ``"tcp:HOST:PORT"`` specs (or unix-socket paths for same-host
+    #: agents), one per node started with ``python -m repro dist agent``.
+    #: Worker count is derived from the agents' advertised slots, so
+    #: ``num_workers`` must be left unset.
+    nodes: Optional[list] = None
+    #: Per-attempt dial timeout for agent connections (the manager
+    #: retries with bounded backoff on top of this).
+    dist_connect_timeout: float = 10.0
+    #: ``True``: every whole-object write returns to the master with the
+    #: task's reply (higher traffic, but an agent death never loses
+    #: data).  ``False`` (default): outputs stay resident on the
+    #: producing node until a barrier or a remote consumer fetches them.
+    dist_write_through: bool = False
+    #: Feed the scheduler the locality-aware placement hook (prefer the
+    #: node holding the most input bytes; idle fallback).  Disable to
+    #: measure placement's effect in ablations.
+    dist_placement: bool = True
     #: Live inspection & control (:mod:`repro.live`): serve graph-delta
     #: events and accept pause/step/breakpoint commands while the run is
     #: in flight.  Implies ``trace=True`` (the event plane is a tap on
@@ -197,10 +218,28 @@ def resolve_config(
         resolved.constants = dict(config.constants)
     for name, value in overrides.items():
         setattr(resolved, name, value)
-    if resolved.backend not in ("threads", "processes"):
+    if resolved.backend not in ("threads", "processes", "cluster"):
         raise TypeError(
             f"{runtime}: unknown backend {resolved.backend!r}; "
-            f"valid backends: 'threads', 'processes'"
+            f"valid backends: 'threads', 'processes', 'cluster'"
+        )
+    if resolved.backend == "cluster":
+        if not resolved.nodes:
+            raise TypeError(
+                f"{runtime}: backend='cluster' needs nodes=[...] — the "
+                f"agent addresses to dispatch to (start each with "
+                f"'python -m repro dist agent ADDR')"
+            )
+        if resolved.num_workers is not None:
+            raise TypeError(
+                f"{runtime}: num_workers is derived from the agents' "
+                f"advertised slots under backend='cluster'; size the "
+                f"fleet with --slots on each agent instead"
+            )
+    elif resolved.nodes:
+        raise TypeError(
+            f"{runtime}: nodes=[...] only applies to backend='cluster' "
+            f"(got backend={resolved.backend!r})"
         )
     if resolved.live_address is not None or resolved.live_start_paused:
         resolved.live = True
@@ -216,12 +255,12 @@ def resolve_config(
             f"and exposition endpoint publish into the MetricsRegistry; "
             f"drop metrics=False (it is the default) or disable health"
         )
-    if resolved.backend == "processes" and resolved.sanitize:
+    if resolved.backend in ("processes", "cluster") and resolved.sanitize:
         raise TypeError(
             f"{runtime}: sanitize=True is incompatible with "
-            f"backend='processes' — the sanitizer guards thread-backend "
-            f"views only (its read-only wrappers never reach a worker "
-            f"process); run the sanitized debug pass with "
-            f"backend='threads'"
+            f"backend={resolved.backend!r} — the sanitizer guards "
+            f"thread-backend views only (its read-only wrappers never "
+            f"reach a worker process); run the sanitized debug pass "
+            f"with backend='threads'"
         )
     return resolved

@@ -163,6 +163,12 @@ class DependencyTracker:
         # plain None check, not a Python-level __bool__ call.
         self.tracer = tracer if tracer else None
         self._data: dict[int, TrackedDatum] = {}
+        #: Residency hook installed by the cluster backend
+        #: (:mod:`repro.dist`): ``fn(version)`` makes the master-side
+        #: storage of *version* current before it is read locally —
+        #: fetching content that is resident on a remote node.  ``None``
+        #: (every other backend): master storage is always current.
+        self.residency_fetch = None
         # Renamed-buffer memory accounting: materialisation happens on
         # worker threads, so the counter takes its own tiny lock.
         import threading

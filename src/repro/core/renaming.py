@@ -312,6 +312,15 @@ class Version:
                     self._storage = adapter.fresh_like(self.datum.base)
                 else:  # CLONE
                     assert self.prev is not None
+                    tracker = self.datum.tracker
+                    if (
+                        tracker is not None
+                        and tracker.residency_fetch is not None
+                    ):
+                        # Cluster backend: the predecessor's bytes may
+                        # live on a remote node; make the master copy
+                        # current before cloning it.
+                        tracker.residency_fetch(self.prev)
                     self._storage = adapter.clone(self.prev.resolve_storage())
                 self.datum.on_rename_materialised(self)
             return self._storage

@@ -51,6 +51,9 @@ class SchedulerStats:
     pops_local: int = 0
     pops_main: int = 0
     steals: int = 0
+    #: Pushes routed by the placement hook (``scheduler.placement``)
+    #: to a specific thread's list instead of the policy default.
+    placed: int = 0
     failed_pops: int = 0
     #: Pop attempts that ended in the steal scan finding every victim
     #: deque empty.  The fast empty-check in :meth:`SmpssScheduler.pop`
@@ -74,6 +77,7 @@ class SchedulerStats:
             "pops_local": self.pops_local,
             "pops_main": self.pops_main,
             "steals": self.steals,
+            "placed": self.placed,
             "failed_pops": self.failed_pops,
             "failed_steals": self.failed_steals,
             "pops_by_thread": dict(self.pops_by_thread),
@@ -307,6 +311,15 @@ class SmpssScheduler:
         #: Optional :class:`DispatchGate` (``repro.live``); ``None`` —
         #: the default — costs one attribute load per pop.
         self.gate: Optional[DispatchGate] = None
+        #: Optional locality hook ``fn(task) -> thread_index | None``
+        #: (``repro.dist`` installs one that prefers the node already
+        #: holding the most input bytes).  Consulted on every normal-
+        #: priority push *under the owner's lock*; returning a thread
+        #: index routes the task onto that thread's own list, ``None``
+        #: keeps the paper's default (main list / unlocking thread).
+        #: High-priority tasks are never placed — the paper schedules
+        #: them "independently of any locality consideration".
+        self.placement = None
         self._ready_count = 0
 
     # ------------------------------------------------------------------
@@ -323,7 +336,14 @@ class SmpssScheduler:
         if task.high_priority:
             self.high.append(task)
         else:
-            self.main.append(task)
+            target = None
+            if self.placement is not None:
+                target = self.placement(task)
+            if target is None:
+                self.main.append(task)
+            else:
+                self.locals[target].append(task)
+                self.stats.placed += 1
         self.stats.pushed_new += 1
         self._ready_count += 1
         if self.tracer:
@@ -341,7 +361,15 @@ class SmpssScheduler:
         if task.high_priority:
             self.high.append(task)
         else:
-            self.locals[thread].append(task)
+            target = None
+            if self.placement is not None:
+                target = self.placement(task)
+            if target is None:
+                self.locals[thread].append(task)
+            else:
+                self.locals[target].append(task)
+                if target != thread:
+                    self.stats.placed += 1
         self.stats.pushed_unlocked += 1
         self._ready_count += 1
         if self.tracer:
@@ -360,9 +388,21 @@ class SmpssScheduler:
         high = self.high
         stats = self.stats
         tracer = self.tracer
+        placement = self.placement
         for task in tasks:
             task.state = TaskState.READY
-            (high if task.high_priority else own).append(task)
+            if task.high_priority:
+                high.append(task)
+            elif placement is None:
+                own.append(task)
+            else:
+                target = placement(task)
+                if target is None:
+                    own.append(task)
+                else:
+                    self.locals[target].append(task)
+                    if target != thread:
+                        stats.placed += 1
             if tracer:
                 tracer.task_ready(task, thread)
         stats.pushed_unlocked += len(tasks)

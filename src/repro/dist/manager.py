@@ -1,0 +1,776 @@
+"""Master-side cluster backend: dispatch, residency, placement, recovery.
+
+:class:`ClusterBackend` is the third execution backend, behind the same
+proxy-thread contract as :class:`~repro.mp.executor.ProcessBackend`:
+the master keeps the paper's entire task-graph machinery — dependency
+tracker, renaming, scheduler, memory limit — byte-identical, and each
+worker thread becomes a proxy that forwards the task body to a remote
+**node agent** (:mod:`repro.dist.agent`) over one persistent socket per
+slot, blocking until the ``done`` frame.
+
+What is genuinely new versus the process backend is the **datum
+residency** layer (:mod:`repro.dist.residency`):
+
+* a task's inputs ship only when the target node does not already hold
+  their current version — repeat submissions over the same arrays move
+  almost nothing (``dist.cache_hits``);
+* a task's whole-object outputs stay on the producing node by default;
+  the master fetches them home lazily (a consumer dispatched elsewhere,
+  :meth:`fetch_version`, or the barrier) — the paper's section-VI
+  locality argument, generalised across address spaces;
+* the scheduler's placement hook steers each ready task toward the
+  node already holding the most input bytes (cf. the Myrmics/COMPSs
+  locality schedulers in PAPERS.md), falling back to normal stealing.
+
+Failure contract mirrors the process backend: a dead agent is detected
+by its sockets dying; its in-flight tasks are re-dispatched exactly
+once to surviving nodes (slots remap, so the proxy threads never
+change); resident data that died with the node is re-fetched from the
+master copy when current, and otherwise raises
+:class:`~repro.dist.encoding.DistDataLossError` — run with
+``dist_write_through=True`` when agents are expected to die.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+import uuid
+from typing import Any, Optional
+
+import numpy as np
+
+from ..core.invocation import resolve_call_values
+from ..core.renaming import StorageKind
+from ..net.client import NetClosed, NetTimeout
+from ..net.frames import FrameError, recv_frame, send_frame
+from ..net.protocol import connect, connect_retry
+from .encoding import (
+    PROTOCOL,
+    AgentLostError,
+    DistDataLossError,
+    DistSerializationError,
+    RemoteTaskError,
+    SCALAR_TYPES,
+    apply_blob,
+    alloc_meta,
+    definition_key,
+    definition_payload,
+    encode_blob,
+    slices_from_spec,
+    slices_spec,
+)
+from .residency import ResidencyMap
+
+__all__ = ["ClusterBackend"]
+
+#: Read timeout for control-channel round trips (fetch may move a large
+#: array; dispatch channels have NO timeout — tasks take as long as
+#: they take, and death is detected by the socket dying, not a clock).
+_CONTROL_TIMEOUT = 120.0
+
+_SHIPPABLE = (np.ndarray, list, bytearray)
+
+
+class _Node:
+    """One agent: control socket, advertised slots, death flag."""
+
+    __slots__ = (
+        "index", "name", "address", "control", "control_lock", "slots",
+        "slot_ids", "pid", "dead", "rr", "tasks_run",
+    )
+
+    def __init__(self, index: int, address: str):
+        self.index = index
+        self.name = f"n{index}"
+        self.address = address
+        self.control = None
+        self.control_lock = threading.Lock()
+        self.slots = 0
+        self.slot_ids: list[int] = []
+        self.pid: Optional[int] = None
+        self.dead = False
+        #: Round-robin cursor over slot_ids for the placement hook.
+        self.rr = 0
+        self.tasks_run = 0
+
+
+class _SlotLink:
+    """One dispatch socket: the remote half of one proxy thread.
+
+    Driven by exactly one proxy thread, so it needs no lock; after the
+    owning node dies the same thread remaps the link to a survivor
+    (``generation`` counts remaps, mirroring mp worker respawns).
+    """
+
+    __slots__ = ("slot", "node", "conn", "generation", "sent_defs", "seq")
+
+    def __init__(self, slot: int, node: _Node, conn):
+        self.slot = slot
+        self.node = node
+        self.conn = conn
+        self.generation = 1
+        self.sent_defs: set = set()
+        self.seq = 0
+
+
+class ClusterBackend:
+    """Executes task bodies on remote node agents (see module docstring)."""
+
+    def __init__(self, runtime):
+        self._runtime = runtime
+        config = runtime.config
+        self._addresses = list(config.nodes or ())
+        self._connect_timeout = config.dist_connect_timeout
+        self._write_through = bool(config.dist_write_through)
+        self._trace_on = bool(config.trace)
+        self._ring_capacity = config.trace_buffer_size
+        self._tracer = runtime.tracer if runtime.tracer else None
+        self.sid = uuid.uuid4().hex[:12]
+        self._residency = ResidencyMap(self.sid)
+        self._nodes: list[_Node] = []
+        self._by_name: dict[str, _Node] = {}
+        #: slot id -> link; index 0 unused (the main thread never
+        #: dispatches remotely under a remote backend).
+        self._slots: list[Optional[_SlotLink]] = []
+        self._death_lock = threading.Lock()
+        self._remap_rr = 0
+        self._stopped = False
+        self.num_slots = 0
+        metrics = runtime.metrics
+        self._m_bytes = metrics.counter("dist.bytes_moved")
+        self._m_hits = metrics.counter("dist.cache_hits")
+        self._m_misses = metrics.counter("dist.cache_misses")
+        self._m_deaths = metrics.counter("dist.agent_deaths")
+        self._m_redispatch = metrics.counter("dist.redispatched_tasks")
+        self._g_resident: dict[str, Any] = {}
+        self._g_tasks: dict[str, Any] = {}
+        self._g_alive: dict[str, Any] = {}
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if not self._addresses:
+            raise TypeError("backend='cluster' needs at least one node")
+        self._stopped = False
+        metrics = self._runtime.metrics
+        slot = 1
+        for index, address in enumerate(self._addresses):
+            node = _Node(index, address)
+            sock = connect_retry(
+                address, timeout=self._connect_timeout, attempts=5,
+            )
+            send_frame(sock, {"k": "hello", "role": "control",
+                              "sid": self.sid})
+            reply, _ = recv_frame(sock, timeout=self._connect_timeout)
+            if reply.get("k") != "hello" or "slots" not in reply:
+                sock.close()
+                raise ConnectionError(
+                    f"{address!r} did not answer like a repro dist agent "
+                    f"(got {reply.get('k')!r})"
+                )
+            sock.settimeout(_CONTROL_TIMEOUT)
+            node.control = sock
+            node.slots = int(reply["slots"])
+            node.pid = reply.get("pid")
+            self._nodes.append(node)
+            self._by_name[node.name] = node
+            for _ in range(node.slots):
+                node.slot_ids.append(slot)
+                slot += 1
+            self._g_resident[node.name] = metrics.gauge(
+                "dist.node_resident_bytes", node=node.name)
+            self._g_tasks[node.name] = metrics.gauge(
+                "dist.node_tasks", node=node.name)
+            self._g_alive[node.name] = metrics.gauge(
+                "dist.node_alive", node=node.name)
+            self._g_alive[node.name].set(1)
+        self.num_slots = slot - 1
+        self._slots = [None] * (self.num_slots + 1)
+        for node in self._nodes:
+            for slot_id in node.slot_ids:
+                self._slots[slot_id] = _SlotLink(
+                    slot_id, node, self._open_dispatch(node, slot_id))
+
+    def _open_dispatch(self, node: _Node, slot: int):
+        sock = connect(node.address, timeout=self._connect_timeout)
+        send_frame(sock, {
+            "k": "hello", "role": "dispatch", "sid": self.sid,
+            "slot": slot, "trace": self._trace_on,
+            "ring": self._ring_capacity,
+        })
+        reply, _ = recv_frame(sock, timeout=self._connect_timeout)
+        if reply.get("k") != "ok":
+            sock.close()
+            raise ConnectionError(
+                f"agent {node.address!r} refused dispatch slot {slot}"
+            )
+        sock.settimeout(None)  # tasks take as long as they take
+        return sock
+
+    def stop(self) -> None:
+        """Release this session on every agent and close all sockets.
+
+        Agents are long-lived daemons shared between runs; stop never
+        kills them, it only drops this session's resident data.  Never
+        raises — called from runtime shutdown paths.
+        """
+
+        if self._stopped:
+            return
+        self._stopped = True
+        for link in self._slots:
+            if link is None or link.conn is None:
+                continue
+            try:
+                send_frame(link.conn, {"k": "bye"})
+            except Exception:
+                pass
+            try:
+                link.conn.close()
+            except Exception:
+                pass
+            link.conn = None
+        for node in self._nodes:
+            sock = node.control
+            if sock is None:
+                continue
+            if not node.dead:
+                try:
+                    send_frame(sock, {"k": "release", "sid": self.sid})
+                    recv_frame(sock, timeout=5.0)
+                    send_frame(sock, {"k": "bye"})
+                except Exception:
+                    pass
+            try:
+                sock.close()
+            except Exception:
+                pass
+            node.control = None
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def run(self, task, slot: int) -> tuple[Optional[BaseException], float]:
+        """Execute *task* on the agent behind *slot*; ``(cause, duration)``.
+
+        Same contract as :meth:`ProcessBackend.run`: expected failures
+        come back as ``cause`` — :class:`RemoteTaskError` (the body
+        raised), :class:`DistSerializationError` (arguments cannot
+        cross), :class:`DistDataLossError` (an input's only copy died
+        with an agent), :class:`AgentLostError` (two agent deaths on
+        one task, or no agents left).
+        """
+
+        link = self._slots[slot]
+        live = self._runtime.live
+        if live is not None:
+            live.notify_dispatch(task, slot)
+        values = resolve_call_values(task)
+        attempts = 0
+        while True:
+            node = link.node
+            if node.dead:
+                try:
+                    self._remap_slot(link)
+                except AgentLostError as exc:
+                    return exc, 0.0
+                node = link.node
+            try:
+                msg, commits = self._encode_task(task, values, node)
+            except (DistSerializationError, DistDataLossError) as exc:
+                return exc, 0.0
+            key = definition_key(task.definition)
+            if key in link.sent_defs:
+                def_payload = None
+            else:
+                try:
+                    def_payload = definition_payload(task.definition)
+                except Exception as exc:
+                    return (
+                        DistSerializationError(
+                            f"task {task.name!r}: definition cannot cross "
+                            f"to an agent ({exc})"
+                        ),
+                        0.0,
+                    )
+            msg["def_key"] = key
+            msg["def_payload"] = def_payload
+            msg["task_id"] = task.task_id
+            msg["name"] = task.name
+            try:
+                blob = pickle.dumps(msg, protocol=PROTOCOL)
+            except Exception as exc:
+                return (
+                    DistSerializationError(
+                        f"task {task.name!r}: arguments are not picklable "
+                        f"({exc!r}); use ndarray/list/bytearray data or "
+                        f"backend='threads'"
+                    ),
+                    0.0,
+                )
+            link.seq += 1
+            seq = link.seq
+            try:
+                send_frame(link.conn, {"k": "task", "seq": seq}, blob)
+                link.sent_defs.add(key)
+                while True:
+                    header, rblob = recv_frame(link.conn)
+                    if header.get("k") == "done" and header.get("seq") == seq:
+                        break
+                reply = pickle.loads(rblob)
+            except (NetClosed, NetTimeout, FrameError, ConnectionError,
+                    OSError, EOFError) as exc:
+                attempts += 1
+                self._note_death(node, exc)
+                if attempts > 1:
+                    return (
+                        AgentLostError(
+                            f"agent {node.name} ({node.address}) died while "
+                            f"running task #{task.task_id} {task.name!r}, "
+                            f"which had already been re-dispatched once; "
+                            f"giving up"
+                        ),
+                        0.0,
+                    )
+                try:
+                    self._remap_slot(link)
+                except AgentLostError as exc2:
+                    return exc2, 0.0
+                self._m_redispatch.inc()
+                continue
+            err = reply.get("err")
+            events = reply.get("events")
+            if events and self._tracer is not None:
+                self._tracer.ingest(events)
+            duration = reply.get("duration", 0.0)
+            if err is not None:
+                return RemoteTaskError(*err), duration
+            for pos, sl_spec, meta, payload in reply.get("ret", ()):
+                apply_blob(
+                    values[pos], meta, payload,
+                    None if sl_spec is None else slices_from_spec(sl_spec),
+                )
+                self._m_bytes.inc(len(payload))
+            residency = self._residency
+            for entry, v_after, master_too in commits:
+                residency.commit_write(
+                    entry, node.name, v_after, master_too=master_too)
+            node.tasks_run += 1
+            self._g_tasks[node.name].set(node.tasks_run)
+            return None, duration
+
+    # ------------------------------------------------------------------
+    # encoding (the residency decisions happen here)
+    # ------------------------------------------------------------------
+    def _encode_task(self, task, values: list, node: _Node):
+        """Build the task message for *node*; returns ``(msg, commits)``.
+
+        ``commits`` is ``[(entry, v_after, master_too), ...]`` — the
+        residency bookkeeping to apply once the agent reports success.
+        """
+
+        residency = self._residency
+        positions = task.definition.positions
+        write_through = self._write_through
+        n = len(values)
+        specs: list = [None] * n
+        ret: list = []
+        writes_specs: list = []
+        out: list = []
+        commits: list = []
+
+        region_positions: set[int] = set()
+        whole_writes: dict[int, Any] = {}
+        read_positions: set[int] = set()
+        for name, version in task.writes:
+            pos = positions[name]
+            if version.datum.region_mode:
+                region_positions.add(pos)
+            else:
+                whole_writes[pos] = version
+        whole_reads: dict[int, Any] = {}
+        for name, version in task.reads:
+            pos = positions[name]
+            read_positions.add(pos)
+            if version.datum.region_mode:
+                region_positions.add(pos)
+            else:
+                whole_reads.setdefault(pos, version)
+
+        # -- region-mode positions: ship declared read slices, return
+        #    declared write slices; never cached (disjoint regions of
+        #    one array may be written concurrently on different nodes,
+        #    so no node ever holds "the" current array).
+        if region_positions:
+            reads_by_pos: dict[int, list] = {}
+            writes_by_pos: dict[int, list] = {}
+            for access in task.accesses:
+                pos = access.position
+                if pos < 0:
+                    pos = positions[access.name]
+                if pos not in region_positions:
+                    continue
+                value = values[pos]
+                if not isinstance(value, np.ndarray):
+                    raise DistSerializationError(
+                        f"task {task.name!r}: region-mode parameter "
+                        f"{access.name!r} has type {type(value).__name__}; "
+                        f"the cluster backend ships regions of ndarrays "
+                        f"only (use backend='threads')"
+                    )
+                if access.region is not None:
+                    slices = access.region.to_slices()
+                else:
+                    slices = (slice(None),) * value.ndim
+                sl = slices_spec(slices)
+                if access.direction.reads:
+                    bucket = reads_by_pos.setdefault(pos, [])
+                    if sl not in bucket:
+                        bucket.append(sl)
+                if access.direction.writes:
+                    bucket = writes_by_pos.setdefault(pos, [])
+                    if sl not in bucket:
+                        bucket.append(sl)
+            for pos in sorted(region_positions):
+                value = values[pos]
+                parts = []
+                for sl in reads_by_pos.get(pos, ()):
+                    chunk = value[slices_from_spec(sl)]
+                    meta, payload = encode_blob(chunk)
+                    parts.append((sl, meta, payload))
+                    self._m_bytes.inc(len(payload))
+                specs[pos] = ("g", alloc_meta(value), parts)
+                for sl in writes_by_pos.get(pos, ()):
+                    ret.append((pos, sl))
+                    writes_specs.append((pos, sl))
+
+        # -- whole-object tracked writes: residency-versioned.
+        for pos, version in whole_writes.items():
+            if specs[pos] is not None:
+                continue
+            storage = values[pos]
+            if not isinstance(storage, _SHIPPABLE):
+                raise DistSerializationError(
+                    f"task {task.name!r}: written parameter "
+                    f"{task.definition.param_names[pos]!r} has type "
+                    f"{type(storage).__name__}, which the cluster backend "
+                    f"cannot ship; use an ndarray/list/bytearray or "
+                    f"backend='threads'"
+                )
+            entry = residency.ensure(storage, version.storage_is_base())
+            residency.verify(entry)
+            reads_back = pos in read_positions
+            if not reads_back and entry.version == 0 \
+                    and version.root.kind is StorageKind.FRESH:
+                # Renamed OUTPUT: content is junk, ship the shape only.
+                specs[pos] = ("f", entry.key, alloc_meta(storage))
+            elif not reads_back:
+                # Overwritten in place: old content equally dead.
+                specs[pos] = ("f", entry.key, alloc_meta(storage))
+            else:
+                specs[pos] = self._content_spec(entry, node)
+            v_after = entry.version + 1
+            out.append((pos, entry.key, v_after))
+            writes_specs.append((pos, None))
+            if write_through:
+                ret.append((pos, None))
+            commits.append((entry, v_after, write_through))
+
+        # -- whole-object tracked reads (positions not written).
+        for pos, version in whole_reads.items():
+            if specs[pos] is not None:
+                continue
+            storage = values[pos]
+            if not isinstance(storage, _SHIPPABLE):
+                specs[pos] = ("s", storage)  # read-only copy is safe
+                continue
+            entry = residency.ensure(storage, version.storage_is_base())
+            residency.verify(entry)
+            specs[pos] = self._content_spec(entry, node)
+
+        # -- everything else ships inline.
+        opaque = self._opaque_positions(task)
+        for pos in range(n):
+            if specs[pos] is not None:
+                continue
+            value = values[pos]
+            if pos in opaque and not isinstance(value, SCALAR_TYPES):
+                raise DistSerializationError(
+                    f"task {task.name!r}: opaque parameter "
+                    f"{task.definition.param_names[pos]!r} has type "
+                    f"{type(value).__name__}; agent-side writes to a "
+                    f"pickled copy would be lost silently — declare a "
+                    f"direction for it or use backend='threads'"
+                )
+            specs[pos] = ("s", value)
+
+        msg = {"values": specs, "writes": writes_specs, "ret": ret,
+               "out": out}
+        return msg, commits
+
+    def _content_spec(self, entry, node: _Node):
+        """``("r", ...)`` when *node* holds current content, else ship."""
+
+        if entry.lost:
+            raise DistDataLossError(
+                f"the only copy of datum {entry.key} died with its node; "
+                f"run with dist_write_through=True to survive agent loss"
+            )
+        if entry.copies.get(node.name) == entry.version:
+            self._m_hits.inc()
+            return ("r", entry.key, entry.version)
+        self._m_misses.inc()
+        if not entry.master_current():
+            self._fetch_home(entry)
+        meta, payload = encode_blob(entry.obj)
+        self._m_bytes.inc(len(payload))
+        self._residency.record_copy(entry, node.name)
+        return ("d", entry.key, entry.version, meta, payload)
+
+    @staticmethod
+    def _opaque_positions(task) -> frozenset:
+        from ..core.task import Direction
+
+        positions = task.definition.positions
+        return frozenset(
+            positions[spec.name]
+            for spec in task.definition.params
+            if spec.direction is Direction.OPAQUE and spec.name in positions
+        )
+
+    # ------------------------------------------------------------------
+    # residency plumbing (fetch home, barrier, death)
+    # ------------------------------------------------------------------
+    def fetch_version(self, version) -> None:
+        """Make the master copy of *version*'s storage current.
+
+        Installed as ``tracker.residency_fetch`` (the renaming engine
+        calls it before cloning a predecessor) and used by
+        ``runtime.acquire`` / the barrier.  No-op for region-mode data
+        (written home eagerly) and for versions that never materialised
+        master-side (they were never dispatched either).
+        """
+
+        root = version.root
+        if root.kind is StorageKind.INITIAL:
+            storage = version.datum.base
+        else:
+            storage = root._storage
+        if storage is None:
+            return
+        entry = self._residency.get(storage)
+        if entry is None:
+            return
+        if not entry.master_current():
+            self._fetch_home(entry)
+
+    def _fetch_home(self, entry) -> None:
+        """Pull *entry*'s current bytes from a holder into the master copy."""
+
+        for name in entry.holders():
+            node = self._by_name.get(name)
+            if node is None or node.dead:
+                continue
+            try:
+                with node.control_lock:
+                    send_frame(node.control, {
+                        "k": "fetch", "key": entry.key,
+                        "version": entry.version,
+                        "timeout": _CONTROL_TIMEOUT - 10.0,
+                    })
+                    header, payload = recv_frame(node.control)
+            except (NetClosed, NetTimeout, FrameError, ConnectionError,
+                    OSError) as exc:
+                self._note_death(node, exc)
+                continue
+            if not header.get("found"):
+                continue
+            apply_blob(entry.obj, header["meta"], payload)
+            self._m_bytes.inc(len(payload))
+            self._residency.mark_master_current(entry)
+            return
+        raise DistDataLossError(
+            f"datum {entry.key}: current version v{entry.version} is on no "
+            f"reachable node and the master copy is stale (last writer "
+            f"{entry.last_writer}); run with dist_write_through=True to "
+            f"survive agent loss"
+        )
+
+    def barrier_sync(self) -> None:
+        """Residency half of a barrier: all data home, caches pruned.
+
+        Fetches every master-stale datum home (the barrier's write-back
+        pass then copies renamed storage into user objects exactly as
+        under the threads backend), then evicts everything except
+        user-owned base arrays — renamed buffers die with the barrier,
+        and the surviving base entries are what makes a *second*
+        submission of the same graph cheap (their remote copies are
+        still valid unless :meth:`ResidencyMap.verify` catches a
+        master-side mutation).
+        """
+
+        residency = self._residency
+        entries = residency.entries()
+        for entry in entries:
+            if not entry.master_current():
+                self._fetch_home(entry)
+        doomed = [
+            entry for entry in entries
+            if not (entry.is_base
+                    and isinstance(entry.obj, (np.ndarray, bytearray)))
+        ]
+        by_node = residency.evict(doomed)
+        for name, keys in by_node.items():
+            node = self._by_name.get(name)
+            if node is None or node.dead:
+                continue
+            try:
+                with node.control_lock:
+                    send_frame(node.control, {"k": "evict", "keys": keys})
+                    recv_frame(node.control)
+            except (NetClosed, NetTimeout, FrameError, ConnectionError,
+                    OSError) as exc:
+                self._note_death(node, exc)
+        residency.generation += 1
+        totals = residency.resident_bytes_by_node()
+        for node in self._nodes:
+            self._g_resident[node.name].set(totals.get(node.name, 0))
+
+    def _note_death(self, node: _Node, cause) -> None:
+        """Record an agent death exactly once; drop its resident copies."""
+
+        with self._death_lock:
+            if node.dead:
+                return
+            node.dead = True
+        self._m_deaths.inc()
+        self._g_alive[node.name].set(0)
+        self._residency.drop_node(node.name)
+        sock = node.control
+        if sock is not None:
+            try:
+                sock.close()
+            except Exception:
+                pass
+
+    def _remap_slot(self, link: _SlotLink) -> None:
+        """Point a dead node's slot at a surviving agent (same slot id,
+        fresh socket) so its proxy thread keeps draining the scheduler."""
+
+        survivors = [n for n in self._nodes if not n.dead]
+        if not survivors:
+            raise AgentLostError(
+                f"all {len(self._nodes)} agent(s) are gone; cannot re-home "
+                f"slot {link.slot}"
+            )
+        old = link.conn
+        if old is not None:
+            try:
+                old.close()
+            except Exception:
+                pass
+            link.conn = None
+        last_exc: Optional[Exception] = None
+        for _ in range(len(survivors)):
+            node = survivors[self._remap_rr % len(survivors)]
+            self._remap_rr += 1
+            try:
+                conn = self._open_dispatch(node, link.slot)
+            except (NetClosed, NetTimeout, FrameError, ConnectionError,
+                    OSError) as exc:
+                last_exc = exc
+                self._note_death(node, exc)
+                continue
+            link.node = node
+            link.conn = conn
+            link.generation += 1
+            link.sent_defs = set()
+            return
+        raise AgentLostError(
+            f"no surviving agent would accept slot {link.slot}: {last_exc}"
+        )
+
+    # ------------------------------------------------------------------
+    # placement
+    # ------------------------------------------------------------------
+    def placement(self, task) -> Optional[int]:
+        """Scheduler hook: the slot of the node holding the most input
+        bytes, or ``None`` for default placement.
+
+        Called under the scheduler lock — it only peeks at already-
+        materialised storages and the residency map (lock order is
+        scheduler → residency, network never happens here).
+        """
+
+        objs = []
+        for name, version in task.reads:
+            if version.datum.region_mode:
+                continue
+            root = version.root
+            if root.kind is StorageKind.INITIAL:
+                storage = version.datum.base
+            else:
+                storage = root._storage
+            if storage is not None:
+                objs.append(storage)
+        for name, version in task.writes:
+            if version.datum.region_mode:
+                continue
+            root = version.root
+            if root.kind is StorageKind.INITIAL:
+                storage = version.datum.base
+                if storage is not None:
+                    objs.append(storage)
+        if not objs:
+            return None
+        totals = self._residency.node_bytes(objs)
+        if not totals:
+            return None
+        name = max(totals, key=totals.get)
+        if totals[name] <= 0:
+            return None
+        node = self._by_name.get(name)
+        if node is None or node.dead or not node.slot_ids:
+            return None
+        node.rr += 1
+        return node.slot_ids[node.rr % len(node.slot_ids)]
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def liveness(self) -> list[dict]:
+        """Per-slot liveness, same shape as the mp backend's (the
+        health watchdog and serve /health consume both identically)."""
+
+        out = []
+        for link in self._slots[1:]:
+            if link is None:
+                continue
+            out.append({
+                "slot": link.slot,
+                "pid": link.node.pid,
+                "alive": not link.node.dead,
+                "generation": link.generation,
+                "node": link.node.name,
+            })
+        return out
+
+    @property
+    def worker_pids(self) -> list[Optional[int]]:
+        return [link.node.pid for link in self._slots[1:] if link is not None]
+
+    def nodes_snapshot(self) -> list[dict]:
+        """Telemetry for CLI/debugging: one dict per configured node."""
+
+        totals = self._residency.resident_bytes_by_node()
+        return [
+            {
+                "name": node.name, "address": node.address,
+                "slots": node.slots, "pid": node.pid,
+                "alive": not node.dead, "tasks_run": node.tasks_run,
+                "resident_bytes": totals.get(node.name, 0),
+            }
+            for node in self._nodes
+        ]

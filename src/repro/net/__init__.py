@@ -18,9 +18,11 @@ which means a unix-domain socket.
 """
 
 from .client import Client, NetClosed, NetTimeout
+from .frames import FrameError, recv_frame, send_frame
 from .protocol import (
     PROTOCOL_VERSION,
     connect,
+    connect_retry,
     decode,
     encode,
     format_address,
@@ -31,12 +33,16 @@ from .server import Server
 __all__ = [
     "PROTOCOL_VERSION",
     "Client",
+    "FrameError",
     "NetClosed",
     "NetTimeout",
     "Server",
     "connect",
+    "connect_retry",
     "decode",
     "encode",
     "format_address",
     "parse_address",
+    "recv_frame",
+    "send_frame",
 ]

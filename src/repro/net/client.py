@@ -12,7 +12,7 @@ from __future__ import annotations
 import socket
 from typing import Callable, Optional
 
-from .protocol import connect, decode, encode
+from .protocol import connect_retry, decode, encode
 
 __all__ = ["Client", "NetTimeout", "NetClosed"]
 
@@ -33,6 +33,14 @@ class Client:
     protocol from the client's first bytes defer their hello until the
     client has spoken — those clients pass ``expect_hello=False`` and
     pick the hello out of the stream after their first command.
+
+    Connect and read timeouts are separate knobs: *timeout* bounds
+    each read (the historical meaning), *connect_timeout* bounds each
+    connect attempt (defaulting to *timeout*), and *connect_attempts*
+    retries a refused/unreachable peer with bounded exponential
+    backoff (``backoff_base``/``backoff_max``) instead of failing on
+    the first ECONNREFUSED — the knob dist agents and served sessions
+    use to ride out a daemon that is still binding its port.
     """
 
     def __init__(
@@ -40,10 +48,20 @@ class Client:
         address: str,
         timeout: float = 10.0,
         expect_hello: bool = True,
+        connect_timeout: Optional[float] = None,
+        connect_attempts: int = 1,
+        backoff_base: float = 0.05,
+        backoff_max: float = 2.0,
     ):
         self.address = address
         self.timeout = timeout
-        self._sock: Optional[socket.socket] = connect(address, timeout)
+        self._sock: Optional[socket.socket] = connect_retry(
+            address,
+            timeout=timeout if connect_timeout is None else connect_timeout,
+            attempts=connect_attempts,
+            backoff_base=backoff_base,
+            backoff_max=backoff_max,
+        )
         self._buffer = b""
         self._pending: list[dict] = []
         self._seq = 0

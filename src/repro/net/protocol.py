@@ -20,7 +20,8 @@ from __future__ import annotations
 
 import json
 import socket
-from typing import Optional
+import time
+from typing import Callable, Optional
 
 __all__ = [
     "PROTOCOL_VERSION",
@@ -29,6 +30,7 @@ __all__ = [
     "parse_address",
     "format_address",
     "connect",
+    "connect_retry",
 ]
 
 PROTOCOL_VERSION = 1
@@ -74,7 +76,13 @@ def format_address(parsed: tuple) -> str:
 
 
 def connect(spec: str, timeout: Optional[float] = None) -> socket.socket:
-    """Client-side connect to a server address spec."""
+    """Client-side connect to a server address spec.
+
+    *timeout* bounds the connect itself **and** becomes the socket's
+    initial read timeout; ``None`` blocks indefinitely (the historical
+    behaviour — prefer :func:`connect_retry` for anything that must
+    survive a dead or not-yet-started peer).
+    """
 
     parsed = parse_address(spec)
     if parsed[0] == "tcp":
@@ -87,3 +95,42 @@ def connect(spec: str, timeout: Optional[float] = None) -> socket.socket:
             sock.settimeout(timeout)
         sock.connect(parsed[1])
     return sock
+
+
+def connect_retry(
+    spec: str,
+    *,
+    timeout: Optional[float] = 10.0,
+    attempts: int = 5,
+    backoff_base: float = 0.05,
+    backoff_max: float = 2.0,
+    sleep: Callable[[float], None] = time.sleep,
+) -> socket.socket:
+    """Bounded exponential-backoff connect.
+
+    Tries up to *attempts* times, sleeping ``backoff_base * 2**k``
+    (capped at *backoff_max*) between tries; each individual connect is
+    bounded by *timeout* seconds, so the worst case is a known, finite
+    wall-clock — never the block-forever of a bare ``connect`` against
+    a dead peer.  Raises ``ConnectionError`` naming the address and the
+    last underlying error once the budget is spent.
+
+    *sleep* is injectable for tests (deterministic backoff assertions
+    without wall-clock waits).
+    """
+
+    if attempts < 1:
+        raise ValueError("connect_retry needs attempts >= 1")
+    delay = backoff_base
+    last: Optional[Exception] = None
+    for attempt in range(attempts):
+        if attempt:
+            sleep(min(delay, backoff_max))
+            delay *= 2
+        try:
+            return connect(spec, timeout)
+        except (OSError, ConnectionError) as exc:
+            last = exc
+    raise ConnectionError(
+        f"could not connect to {spec!r} after {attempts} attempt(s): {last}"
+    )

@@ -480,6 +480,21 @@ class ServeEngine:
     # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
+    def liveness(self) -> list[dict]:
+        """Per-worker liveness for ``/health``.
+
+        Under the process backend this is the mp backend's own per-slot
+        view (pid, OS-level alive, respawn generation); under threads
+        it reports each worker thread's :meth:`Thread.is_alive`.
+        """
+
+        if self._mp is not None:
+            return self._mp.liveness()
+        return [
+            {"slot": i + 1, "alive": thread.is_alive()}
+            for i, thread in enumerate(self._threads)
+        ]
+
     def state(self) -> dict:
         with self._lock:
             tenants = {

@@ -95,10 +95,14 @@ class ServeSession:
         tenant: Optional[str] = None,
         timeout: float = 120.0,
         constants: Optional[dict] = None,
+        connect_timeout: Optional[float] = 10.0,
+        connect_attempts: int = 5,
     ):
         self.address = address
         self.tenant = tenant or _default_tenant()
         self.timeout = timeout
+        self.connect_timeout = connect_timeout
+        self.connect_attempts = connect_attempts
         self.constants = dict(constants or {})
         self._transport: Optional[_Transport] = None
         self._batch: list[tuple] = []      # (definition, values)
@@ -117,7 +121,11 @@ class ServeSession:
         if self._started:
             raise ServeError("session already started")
         self._transport = _Transport(
-            self.address, timeout=self.timeout, expect_hello=False
+            self.address,
+            timeout=self.timeout,
+            expect_hello=False,
+            connect_timeout=self.connect_timeout,
+            connect_attempts=self.connect_attempts,
         )
         ack = self._transport.rpc(
             "open", tenant=self.tenant, version=sp.SERVE_PROTOCOL_VERSION
@@ -307,6 +315,8 @@ def connect(
     tenant: Optional[str] = None,
     timeout: float = 120.0,
     constants: Optional[dict] = None,
+    connect_timeout: Optional[float] = 10.0,
+    connect_attempts: int = 5,
 ) -> ServeSession:
     """Open a session against a running task-graph daemon.
 
@@ -316,8 +326,18 @@ def connect(
         with repro.serve.connect("tcp:127.0.0.1:7070") as rt:
             cholesky_hyper(hm)
             rt.barrier()
+
+    *timeout* bounds each read while a graph runs; *connect_timeout*
+    and *connect_attempts* bound the initial dial (with exponential
+    backoff between attempts), so connecting to a dead or still-
+    starting daemon fails in bounded time instead of hanging.
     """
 
     return ServeSession(
-        address, tenant=tenant, timeout=timeout, constants=constants
+        address,
+        tenant=tenant,
+        timeout=timeout,
+        constants=constants,
+        connect_timeout=connect_timeout,
+        connect_attempts=connect_attempts,
     )

@@ -1,0 +1,29 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_arena_segments(request):
+    """Assert shared-memory hygiene after every mp-marked test.
+
+    Each ``-m mp`` test must leave ``/dev/shm`` exactly as it found it:
+    a leaked ``repro-arena-*`` segment means a SharedArena was dropped
+    without ``close(unlink=True)`` — a host-level leak that outlives
+    the interpreter, which is why it is an error and not a warning.
+    Segments that already existed before the test (e.g. from a crashed
+    unrelated process) are not attributed to it.
+    """
+
+    if request.node.get_closest_marker("mp") is None:
+        yield
+        return
+    from repro.mp import leaked_segment_files
+
+    before = set(leaked_segment_files())
+    yield
+    leaked = [name for name in leaked_segment_files() if name not in before]
+    assert not leaked, (
+        f"test leaked shared-memory segment(s): {leaked}; every "
+        f"SharedArena must be closed with unlink=True"
+    )

@@ -165,3 +165,84 @@ class TestStandaloneServer:
                     client.recv(timeout=5.0)
         finally:
             client.close()
+
+
+# ---------------------------------------------------------------------------
+# client hardening: bounded connect retries with exponential backoff
+# ---------------------------------------------------------------------------
+
+class TestConnectRetry:
+    def test_gives_up_after_bounded_attempts(self):
+        from repro.net import connect_retry
+
+        sleeps = []
+        with pytest.raises(ConnectionError) as exc:
+            connect_retry(
+                "tcp:127.0.0.1:1",  # reserved port: nothing listens
+                timeout=0.2, attempts=4,
+                backoff_base=0.05, backoff_max=0.2,
+                sleep=sleeps.append,
+            )
+        # 3 sleeps between 4 attempts, doubling and capped.
+        assert sleeps == [0.05, 0.1, 0.2]
+        assert "4 attempt(s)" in str(exc.value)
+
+    def test_backoff_is_capped(self):
+        from repro.net import connect_retry
+
+        sleeps = []
+        with pytest.raises(ConnectionError):
+            connect_retry(
+                "tcp:127.0.0.1:1", timeout=0.2, attempts=6,
+                backoff_base=0.1, backoff_max=0.25,
+                sleep=sleeps.append,
+            )
+        assert sleeps == [0.1, 0.2, 0.25, 0.25, 0.25]
+
+    def test_attempts_must_be_positive(self):
+        from repro.net import connect_retry
+
+        with pytest.raises(ValueError):
+            connect_retry("tcp:127.0.0.1:1", attempts=0)
+
+    def test_succeeds_once_server_appears(self):
+        import socket as socketmod
+
+        from repro.net import connect_retry
+
+        listener = socketmod.socket()
+        listener.bind(("127.0.0.1", 0))
+        port = listener.getsockname()[1]
+        spec = f"tcp:127.0.0.1:{port}"
+
+        calls = []
+
+        def late_listen(delay):
+            calls.append(delay)
+            listener.listen(1)  # only now do connects succeed
+
+        sock = connect_retry(
+            spec, timeout=2.0, attempts=5, backoff_base=0.01,
+            sleep=late_listen,
+        )
+        try:
+            assert calls  # first attempt failed, retry happened
+        finally:
+            sock.close()
+            listener.close()
+
+    def test_client_exposes_connect_knobs(self):
+        server = Server(
+            "tcp:127.0.0.1:0", lambda cmd: {"ok": True},
+            hello={"service": "test"},
+        )
+        try:
+            client = Client(
+                server.address, timeout=5.0,
+                connect_timeout=2.0, connect_attempts=3,
+                backoff_base=0.01, backoff_max=0.05,
+            )
+            assert client.hello.get("service") == "test"
+            client.close()
+        finally:
+            server.close()

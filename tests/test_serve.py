@@ -586,6 +586,10 @@ class TestHttpSurface:
         ).read())
         assert health["service"] == "repro.serve"
         assert health["tenants"]["alice"]["graphs"] == 1
+        # Worker liveness: one record per worker slot, all alive.
+        assert len(health["worker_liveness"]) == health["workers"]
+        assert all(w["alive"] for w in health["worker_liveness"])
+        assert health["workers_alive"] == health["workers"]
         with pytest.raises(urllib.error.HTTPError) as exc_info:
             urllib.request.urlopen(f"http://{host}/nope", timeout=10)
         assert exc_info.value.code == 404
